@@ -1,0 +1,80 @@
+// Ablation A1 (DESIGN.md): robustness of the runtime to the EH environment —
+// different power traces (daylight solar, full day with night gap, square
+// wave, constant) and arrival processes (uniform, Poisson, bursty).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/solar.hpp"
+
+using namespace imx;
+
+namespace {
+
+core::ExperimentSetup with_trace(core::ExperimentSetup setup,
+                                 energy::PowerTrace trace,
+                                 std::uint64_t event_seed = 99) {
+    trace.rescale_total_energy(281.5);
+    setup.events = sim::generate_events(
+        {500, trace.duration(), sim::ArrivalKind::kUniform, event_seed});
+    setup.trace = std::move(trace);
+    return setup;
+}
+
+}  // namespace
+
+int main() {
+    const auto base = core::make_paper_setup();
+
+    util::Table t1("Ablation — power trace shape (same 281.5 mJ budget)");
+    t1.header({"trace", "IEpmJ (QL)", "IEpmJ (LUT)", "processed QL", "lat QL"});
+    struct TraceCase {
+        const char* name;
+        energy::PowerTrace trace;
+    };
+    energy::SolarConfig full_day;
+    full_day.dt_s = 1.0;
+    full_day.peak_power_mw = 0.08;
+    full_day.time_compression = 86400.0 / 13000.0;  // includes the night gap
+    TraceCase cases[] = {
+        {"daylight solar (paper setup)", base.trace},
+        {"full day incl. night", energy::make_solar_trace(full_day)},
+        {"square wave 60s/50%",
+         energy::PowerTrace::square_wave(0.05, 60.0, 0.5, 13000.0, 1.0)},
+        {"constant power",
+         energy::PowerTrace::constant(0.0217, 13000.0, 1.0)},
+    };
+    for (auto& c : cases) {
+        const auto setup = with_trace(base, std::move(c.trace));
+        const auto ql = bench::run_ours_qlearning(setup, 12);
+        const auto lut = bench::run_ours_static(setup);
+        t1.row({c.name, util::fixed(ql.iepmj(), 3), util::fixed(lut.iepmj(), 3),
+                std::to_string(ql.processed_count()),
+                util::fixed(ql.mean_event_latency_s(), 1) + " s"});
+    }
+    t1.print(std::cout);
+
+    util::Table t2("Ablation — event arrival process (daylight solar)");
+    t2.header({"arrivals", "IEpmJ (QL)", "IEpmJ (LUT)", "processed QL/LUT"});
+    for (const auto kind : {sim::ArrivalKind::kUniform, sim::ArrivalKind::kPoisson,
+                            sim::ArrivalKind::kBursty}) {
+        auto setup = base;
+        setup.events = sim::generate_events(
+            {500, setup.trace.duration(), kind, 321});
+        const auto ql = bench::run_ours_qlearning(setup, 12);
+        const auto lut = bench::run_ours_static(setup);
+        const char* name = kind == sim::ArrivalKind::kUniform  ? "uniform (paper)"
+                           : kind == sim::ArrivalKind::kPoisson ? "Poisson"
+                                                                : "bursty 2-5";
+        t2.row({name, util::fixed(ql.iepmj(), 3), util::fixed(lut.iepmj(), 3),
+                std::to_string(ql.processed_count()) + "/" +
+                    std::to_string(lut.processed_count())});
+    }
+    t2.print(std::cout);
+
+    std::printf(
+        "\nnotes: the night gap roughly halves IEpmJ for every policy (half "
+        "the events arrive with no income and a small buffer); burstiness "
+        "favors the learned policy, which holds reserve for followers.\n");
+    return 0;
+}

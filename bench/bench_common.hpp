@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benches: canonical setup,
+// simulation runners, and paper-vs-measured table formatting.
+#ifndef IMX_BENCH_COMMON_HPP
+#define IMX_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_models.hpp"
+#include "core/accuracy_model.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/oracle_model.hpp"
+#include "core/runtime.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace imx::bench {
+
+/// Run our deployed network under the static LUT policy.
+inline sim::SimResult run_ours_static(const core::ExperimentSetup& setup) {
+    core::OracleInferenceModel model(setup.network, setup.deployed_policy,
+                                     setup.exit_accuracy);
+    sim::GreedyAffordablePolicy policy;
+    sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
+    return simulator.run(setup.events, model, policy);
+}
+
+/// Train a Q-learning policy for `episodes` runs, then evaluate greedily on
+/// the canonical event schedule. Returns per-episode all-event accuracy in
+/// `learning_curve` if non-null.
+inline sim::SimResult run_ours_qlearning(const core::ExperimentSetup& setup,
+                                         int episodes,
+                                         std::vector<double>* learning_curve =
+                                             nullptr,
+                                         core::RuntimeConfig runtime_cfg = {}) {
+    core::OracleInferenceModel model(setup.network, setup.deployed_policy,
+                                     setup.exit_accuracy);
+    core::QLearningExitPolicy policy(setup.network.num_exits, runtime_cfg);
+    sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
+    for (int ep = 0; ep < episodes; ++ep) {
+        const auto events = sim::generate_events(
+            {static_cast<int>(setup.events.size()), setup.trace.duration(),
+             sim::ArrivalKind::kUniform, 2000 + static_cast<std::uint64_t>(ep)});
+        const auto r = simulator.run(events, model, policy);
+        if (learning_curve != nullptr) {
+            learning_curve->push_back(100.0 * r.accuracy_all_events());
+        }
+    }
+    policy.set_eval_mode(true);
+    return simulator.run(setup.events, model, policy);
+}
+
+/// Run a fixed single-exit baseline on the checkpointed (SONIC-style) runtime.
+inline sim::SimResult run_baseline(const core::ExperimentSetup& setup,
+                                   baselines::FixedBaselineModel model) {
+    sim::GreedyAffordablePolicy policy;
+    sim::Simulator simulator(setup.trace, setup.checkpointed_sim);
+    return simulator.run(setup.events, model, policy);
+}
+
+/// "measured (paper X)" cell.
+inline std::string vs_paper(double measured, double paper, int precision = 2) {
+    return util::fixed(measured, precision) + " (paper " +
+           util::fixed(paper, precision) + ")";
+}
+
+}  // namespace imx::bench
+
+#endif  // IMX_BENCH_COMMON_HPP

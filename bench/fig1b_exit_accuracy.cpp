@@ -1,0 +1,59 @@
+// Reproduces Fig. 1b: per-exit accuracy of the multi-exit LeNet under
+// full precision, uniform compression, and nonuniform compression (the
+// deployed reference policy), against the paper's reported bars.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "compress/fit.hpp"
+
+using namespace imx;
+
+int main() {
+    const auto desc = core::make_paper_network_desc();
+    const core::AccuracyModel oracle(
+        desc, {core::kPaperFullPrecisionAcc.begin(),
+               core::kPaperFullPrecisionAcc.end()});
+
+    const auto full = compress::Policy::full_precision(desc.num_layers());
+    const auto uniform = core::uniform_baseline_policy();
+    const auto nonuniform = core::reference_nonuniform_policy();
+
+    const auto acc_full = oracle.exit_accuracy(full);
+    const auto acc_uni = oracle.exit_accuracy(uniform);
+    const auto acc_non = oracle.exit_accuracy(nonuniform);
+
+    util::Table table(
+        "Fig. 1b — per-exit accuracy (%), measured (paper)");
+    table.header({"exit", "full precision", "uniform", "nonuniform"});
+    for (int e = 0; e < 3; ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        table.row({"exit " + std::to_string(e + 1),
+                   bench::vs_paper(acc_full[i], core::kPaperFullPrecisionAcc[i], 1),
+                   bench::vs_paper(acc_uni[i], core::kPaperUniformAcc[i], 1),
+                   bench::vs_paper(acc_non[i], core::kPaperNonuniformAcc[i], 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nbars (55..75 %):\n";
+    for (int e = 0; e < 3; ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        auto bar_of = [](double v) { return util::bar(v - 55.0, 20.0, 36); };
+        std::printf("exit %d full    |%s| %.1f\n", e + 1,
+                    bar_of(acc_full[i]).c_str(), acc_full[i]);
+        std::printf("exit %d uniform |%s| %.1f\n", e + 1,
+                    bar_of(acc_uni[i]).c_str(), acc_uni[i]);
+        std::printf("exit %d nonunif |%s| %.1f\n\n", e + 1,
+                    bar_of(acc_non[i]).c_str(), acc_non[i]);
+    }
+
+    std::printf("constraints: FLOPs %.3fM (uniform) / %.3fM (nonuniform) "
+                "<= %.2fM target; size %.1f / %.1f <= %.1f KB target\n",
+                static_cast<double>(compress::total_macs(desc, uniform)) / 1e6,
+                static_cast<double>(compress::total_macs(desc, nonuniform)) / 1e6,
+                core::kFlopsTargetMacs / 1e6,
+                compress::model_bytes(desc, uniform) / 1024.0,
+                compress::model_bytes(desc, nonuniform) / 1024.0,
+                core::kSizeTargetBytes / 1024.0);
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 4: the layer-wise preserve ratio and weight-bitwidth
+// allocation found by the power-trace-aware two-agent DDPG search (with
+// local refinement) under the 1.15 MFLOP / 16 KB constraints.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/search.hpp"
+#include "core/trace_eval.hpp"
+
+using namespace imx;
+
+int main(int argc, char** argv) {
+    const int episodes = argc > 1 ? std::atoi(argv[1]) : 300;
+
+    const auto setup = core::make_paper_setup();
+    const auto& desc = setup.network;
+    const core::AccuracyModel oracle(
+        desc, {core::kPaperFullPrecisionAcc.begin(),
+               core::kPaperFullPrecisionAcc.end()});
+    const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
+                                          core::paper_constraints(), true);
+
+    core::SearchConfig cfg;
+    cfg.episodes = episodes;
+    core::CompressionSearch search(evaluator, cfg);
+    const auto result = search.run_ddpg_refined();
+
+    if (!result.found_feasible) {
+        std::printf("search found no feasible policy (unexpected)\n");
+        return 1;
+    }
+    const auto& policy = result.best_policy;
+
+    util::Table table(
+        "Fig. 4 — layer-wise compression policy at 1.15 MFLOP / 16 KB");
+    table.header({"layer", "preserve ratio", "", "w bits", "a bits"});
+    for (std::size_t l = 0; l < desc.num_layers(); ++l) {
+        table.row({desc.layers[l].name,
+                   util::fixed(policy[l].preserve_ratio, 2),
+                   util::bar(policy[l].preserve_ratio, 1.0, 20),
+                   std::to_string(policy[l].weight_bits),
+                   std::to_string(policy[l].activation_bits)});
+    }
+    table.print(std::cout);
+
+    const auto acc = oracle.exit_accuracy(policy);
+    std::printf(
+        "\nsearched policy: Racc %.4f | exits %.1f / %.1f / %.1f %% | "
+        "%.3fM MACs (target %.2fM) | %.1f KB (target %.1f KB)\n",
+        result.best_reward, acc[0], acc[1], acc[2],
+        static_cast<double>(compress::total_macs(desc, policy)) / 1e6,
+        core::kFlopsTargetMacs / 1e6,
+        compress::model_bytes(desc, policy) / 1024.0,
+        core::kSizeTargetBytes / 1024.0);
+
+    // Qualitative Fig. 4 shape checks the paper reports in prose.
+    double conv_bits = 0.0;
+    int conv_count = 0;
+    for (std::size_t l = 0; l < desc.num_layers(); ++l) {
+        if (desc.layers[l].kind == compress::LayerKind::kConv) {
+            conv_bits += policy[l].weight_bits;
+            ++conv_count;
+        }
+    }
+    const int fc_b21_bits =
+        policy[static_cast<std::size_t>(desc.layer_index("FC-B21"))].weight_bits;
+    const int fc_b31_bits =
+        policy[static_cast<std::size_t>(desc.layer_index("FC-B31"))].weight_bits;
+    std::printf(
+        "shape: mean conv weight bits %.1f (paper: 8); large FCs FC-B21=%d, "
+        "FC-B31=%d bits (paper: 1)\n",
+        conv_bits / conv_count, fc_b21_bits, fc_b31_bits);
+    std::printf("search evaluations: %d\n", result.evaluations);
+    return 0;
+}

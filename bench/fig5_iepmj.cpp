@@ -1,0 +1,61 @@
+// Reproduces Fig. 5 and the Sec. V-C accuracy rows: interesting events per
+// harvested millijoule (IEpmJ) plus all-event / processed-event accuracy for
+// ours vs SonicNet, SpArSeNet, and LeNet-Cifar.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace imx;
+
+int main() {
+    const auto setup = core::make_paper_setup();
+
+    const auto ours = bench::run_ours_qlearning(setup, 16);
+    const auto sonic = bench::run_baseline(setup, baselines::make_sonic_net());
+    const auto sparse = bench::run_baseline(setup, baselines::make_sparse_net());
+    const auto lenet = bench::run_baseline(setup, baselines::make_lenet_cifar());
+
+    struct Row {
+        const char* name;
+        const sim::SimResult* r;
+        double paper_iepmj;
+        double paper_acc_all;
+        double paper_acc_proc;
+    };
+    const Row rows[] = {
+        {"Our Approach", &ours, 0.89, 50.1, 65.4},
+        {"SonicNet", &sonic, 0.25, 14.0, 75.4},
+        {"SpArSeNet", &sparse, 0.05, 2.6, 82.7},
+        {"LeNet-Cifar", &lenet, 0.70, 39.2, 74.7},
+    };
+
+    util::Table table("Fig. 5 — IEpmJ and Sec. V-C accuracy, measured (paper)");
+    table.header({"system", "IEpmJ", "acc all events %", "acc processed %",
+                  "processed/500"});
+    for (const Row& row : rows) {
+        table.row({row.name,
+                   bench::vs_paper(row.r->iepmj(), row.paper_iepmj),
+                   bench::vs_paper(100.0 * row.r->accuracy_all_events(),
+                                   row.paper_acc_all, 1),
+                   bench::vs_paper(100.0 * row.r->accuracy_processed(),
+                                   row.paper_acc_proc, 1),
+                   std::to_string(row.r->processed_count())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nIEpmJ bars:\n";
+    for (const Row& row : rows) {
+        std::printf("%-12s |%s| %.3f\n", row.name,
+                    util::bar(row.r->iepmj(), 1.0, 40).c_str(), row.r->iepmj());
+    }
+
+    std::printf(
+        "\nimprovement factors (IEpmJ): ours/Sonic %.1fx (paper 3.6x), "
+        "ours/SpArSe %.1fx (paper 18.9x), ours/LeNet %.2fx (paper 1.28x)\n",
+        ours.iepmj() / sonic.iepmj(), ours.iepmj() / sparse.iepmj(),
+        ours.iepmj() / lenet.iepmj());
+    std::printf("harvested energy over the run: %.1f mJ across %zu events\n",
+                setup.trace.total_energy(), setup.events.size());
+    return 0;
+}

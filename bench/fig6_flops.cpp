@@ -1,0 +1,61 @@
+// Reproduces Fig. 6: per-exit FLOPs before/after nonuniform compression
+// (with the reduction ratio annotations) and the baselines' FLOPs, plus the
+// per-inference average comparison the paper derives from it.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace imx;
+
+int main() {
+    const auto setup = core::make_paper_setup();
+    const auto& desc = setup.network;
+    const auto full = compress::Policy::full_precision(desc.num_layers());
+    const auto before = compress::per_exit_macs(desc, full);
+    const auto after = compress::per_exit_macs(desc, setup.deployed_policy);
+
+    const double paper_ratio[3] = {0.67, 0.44, 0.31};
+
+    util::Table table("Fig. 6 — per-exit FLOPs before/after compression");
+    table.header({"exit", "before (MFLOPs)", "after (MFLOPs)",
+                  "ratio, measured (paper)"});
+    for (int e = 0; e < 3; ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        const double ratio = static_cast<double>(after[i]) /
+                             static_cast<double>(before[i]);
+        table.row({"exit " + std::to_string(e + 1),
+                   util::fixed(static_cast<double>(before[i]) / 1e6, 4),
+                   util::fixed(static_cast<double>(after[i]) / 1e6, 4),
+                   bench::vs_paper(ratio, paper_ratio[e])});
+    }
+    table.row({"SonicNet", "2.0000", "-", "-"});
+    table.row({"SpArSeNet", "11.4000", "-", "-"});
+    table.row({"LeNet-Cifar", "0.7200", "-", "-"});
+    table.print(std::cout);
+
+    // Per-inference FLOPs average under the learned runtime (the paper's
+    // "Aver." bar and the 4.1x / 23.2x / 0.46x annotations).
+    const auto ours = bench::run_ours_qlearning(setup, 16);
+    const double avg_macs = ours.mean_inference_macs();
+    std::printf(
+        "\nmean per-inference FLOPs (ours, learned runtime): %.3fM\n",
+        avg_macs / 1e6);
+    std::printf(
+        "per-inference improvement: vs SonicNet %.1fx (paper 4.1x), "
+        "vs SpArSeNet %.1fx (paper 23.2x), vs LeNet-Cifar %.2fx (paper 0.46x"
+        " — i.e. LeNet-Cifar is cheaper per inference)\n",
+        2.0e6 / avg_macs, 11.4e6 / avg_macs, 0.72e6 / avg_macs);
+
+    std::cout << "\nFLOPs bars (MFLOPs, 0..2):\n";
+    for (int e = 0; e < 3; ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        std::printf("exit %d before |%s| %.3f\n", e + 1,
+                    util::bar(static_cast<double>(before[i]) / 1e6, 2.0, 40).c_str(),
+                    static_cast<double>(before[i]) / 1e6);
+        std::printf("exit %d after  |%s| %.3f\n", e + 1,
+                    util::bar(static_cast<double>(after[i]) / 1e6, 2.0, 40).c_str(),
+                    static_cast<double>(after[i]) / 1e6);
+    }
+    return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Fig. 7a: the runtime adaptation learning curve — all-event
+// accuracy per learning episode for Q-learning exit selection vs the static
+// LUT policy's flat line.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace imx;
+
+int main() {
+    const auto setup = core::make_paper_setup();
+
+    const auto lut = bench::run_ours_static(setup);
+    const double lut_acc = 100.0 * lut.accuracy_all_events();
+
+    std::vector<double> curve;
+    const auto learned = bench::run_ours_qlearning(setup, 16, &curve);
+    const double final_acc = 100.0 * learned.accuracy_all_events();
+
+    util::Table table("Fig. 7a — runtime learning curve (avg accuracy, %)");
+    table.header({"episode", "Q-learning", "", "static LUT"});
+    for (std::size_t ep = 0; ep < curve.size(); ++ep) {
+        table.row({std::to_string(ep + 1), util::fixed(curve[ep], 1),
+                   util::bar(curve[ep] - 30.0, 30.0, 30),
+                   util::fixed(lut_acc, 1)});
+    }
+    table.row({"eval (greedy)", util::fixed(final_acc, 1),
+               util::bar(final_acc - 30.0, 30.0, 30), util::fixed(lut_acc, 1)});
+    table.print(std::cout);
+
+    std::printf(
+        "\nQ-learning final vs static LUT: %.1f%% vs %.1f%% -> %+.1f%% "
+        "relative (paper: +10.2%%)\n",
+        final_acc, lut_acc, 100.0 * (final_acc - lut_acc) / lut_acc);
+    std::printf("learning curve start -> end: %.1f%% -> %.1f%%\n",
+                curve.front(), curve.back());
+    return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark): NN kernels and quantization, the
+// per-inference compute the MCU model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "core/multi_exit_spec.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/exit_graph.hpp"
+#include "nn/linear.hpp"
+#include "nn/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace imx;
+
+nn::Tensor random_activations(nn::Shape shape, std::uint64_t seed) {
+    util::Rng rng(seed);
+    nn::Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        t[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    return t;
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+    util::Rng rng(1);
+    const int channels = static_cast<int>(state.range(0));
+    nn::Conv2d conv(channels, channels, 3, 1, "c", rng);
+    const nn::Tensor x = random_activations({channels, 16, 16}, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv.forward(x));
+    }
+    state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+    util::Rng rng(3);
+    nn::Conv2d conv(8, 8, 3, 1, "c", rng);
+    const nn::Tensor x = random_activations({8, 16, 16}, 4);
+    const nn::Tensor y = conv.forward(x);
+    const nn::Tensor g = random_activations(y.shape(), 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv.backward(g));
+    }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_LinearForward(benchmark::State& state) {
+    util::Rng rng(6);
+    const int features = static_cast<int>(state.range(0));
+    nn::Linear fc(features, features, "fc", rng);
+    const nn::Tensor x = random_activations({features}, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fc.forward(x));
+    }
+    state.SetItemsProcessed(state.iterations() * fc.macs(x.shape()));
+}
+BENCHMARK(BM_LinearForward)->Arg(64)->Arg(256);
+
+void BM_PaperGraphFullForward(benchmark::State& state) {
+    util::Rng rng(8);
+    nn::ExitGraph graph = core::build_paper_graph(rng);
+    const nn::Tensor x = random_activations({3, 32, 32}, 9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph.forward_all(x));
+    }
+    state.SetItemsProcessed(state.iterations() * graph.total_macs());
+}
+BENCHMARK(BM_PaperGraphFullForward);
+
+void BM_PaperGraphExit1Only(benchmark::State& state) {
+    util::Rng rng(10);
+    nn::ExitGraph graph = core::build_paper_graph(rng);
+    const nn::Tensor x = random_activations({3, 32, 32}, 11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph.forward_to_exit(x, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * graph.exit_macs(0));
+}
+BENCHMARK(BM_PaperGraphExit1Only);
+
+void BM_QuantizeWeights(benchmark::State& state) {
+    const int bits = static_cast<int>(state.range(0));
+    util::Rng rng(12);
+    nn::Tensor w({256, 128});
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+        w[i] = static_cast<float>(rng.normal());
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(nn::quantize_weights(w, bits));
+    }
+    state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_QuantizeWeights)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_IntConvReference(benchmark::State& state) {
+    util::Rng rng(13);
+    nn::Conv2d conv(8, 8, 3, 1, "c", rng);
+    const nn::Tensor x = random_activations({8, 16, 16}, 14);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::int_conv2d_reference(x, conv.weight(), conv.bias(), 1, 8, 8));
+    }
+}
+BENCHMARK(BM_IntConvReference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

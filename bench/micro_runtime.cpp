@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for the runtime path: the Q-learning
+// step the paper calls "negligible overhead", DDPG training steps, policy
+// evaluation inside the search, and full trace simulations.
+#include <benchmark/benchmark.h>
+
+#include "core/accuracy_model.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/oracle_model.hpp"
+#include "core/runtime.hpp"
+#include "core/search.hpp"
+#include "core/trace_eval.hpp"
+#include "rl/ddpg.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace imx;
+
+void BM_QLearningSelectAndUpdate(benchmark::State& state) {
+    // The paper's claim: runtime selection is a LUT lookup plus an update.
+    core::QLearningExitPolicy policy(3, core::RuntimeConfig{});
+    const auto setup_once = [] {
+        sim::EnergyState s;
+        s.level_mj = 2.0;
+        s.capacity_mj = 5.0;
+        s.charge_rate_mw = 0.02;
+        return s;
+    };
+    const sim::EnergyState s = setup_once();
+    const auto desc = core::make_paper_network_desc();
+    core::OracleInferenceModel model(desc, core::reference_nonuniform_policy(),
+                                     {60.0, 68.0, 70.0});
+    for (auto _ : state) {
+        const int e = policy.select_exit(s, model);
+        policy.observe(s, e, true);
+        benchmark::DoNotOptimize(e);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QLearningSelectAndUpdate);
+
+void BM_OracleEvaluate(benchmark::State& state) {
+    const auto desc = core::make_paper_network_desc();
+    core::OracleInferenceModel model(desc, core::reference_nonuniform_policy(),
+                                     {60.0, 68.0, 70.0});
+    int ev = 0;
+    for (auto _ : state) {
+        const int event_id = ev % 500;
+        const int exit = ev % 3;
+        ++ev;
+        benchmark::DoNotOptimize(model.evaluate(event_id, exit));
+    }
+}
+BENCHMARK(BM_OracleEvaluate);
+
+void BM_PolicyEvaluatorScore(benchmark::State& state) {
+    // One reward evaluation of the compression search (Eq. 4-10).
+    static const auto setup = core::make_paper_setup();
+    static const core::AccuracyModel oracle(
+        setup.network, {core::kPaperFullPrecisionAcc.begin(),
+                        core::kPaperFullPrecisionAcc.end()});
+    static const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(setup.network, oracle, trace_eval,
+                                          core::paper_constraints(), true);
+    const auto policy = core::reference_nonuniform_policy();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluator.score(policy));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyEvaluatorScore);
+
+void BM_DdpgTrainStep(benchmark::State& state) {
+    rl::DdpgConfig cfg;
+    cfg.state_dim = 12;
+    cfg.action_dim = 1;
+    cfg.batch_size = 64;
+    rl::DdpgAgent agent(cfg);
+    util::Rng rng(1);
+    for (int i = 0; i < 256; ++i) {
+        std::vector<float> s(12);
+        for (auto& v : s) v = static_cast<float>(rng.uniform());
+        agent.remember({s, {static_cast<float>(rng.uniform())},
+                        static_cast<float>(rng.uniform(-1.0, 1.0)), s, true});
+    }
+    for (auto _ : state) {
+        agent.train_step();
+    }
+}
+BENCHMARK(BM_DdpgTrainStep);
+
+void BM_FullTraceSimulation(benchmark::State& state) {
+    // One 13,000-step, 500-event intermittent simulation.
+    static const auto setup = core::make_paper_setup();
+    core::OracleInferenceModel model(setup.network, setup.deployed_policy,
+                                     setup.exit_accuracy);
+    sim::GreedyAffordablePolicy policy;
+    sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulator.run(setup.events, model, policy));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(setup.events.size()));
+}
+BENCHMARK(BM_FullTraceSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

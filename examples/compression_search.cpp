@@ -1,0 +1,69 @@
+// Example: phase-1 of the paper — power-trace-aware, exit-guided nonuniform
+// compression search with two DDPG agents, compared against random search
+// and simulated annealing under the same evaluation budget.
+//
+// Usage: example_compression_search [episodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/accuracy_model.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/search.hpp"
+#include "core/trace_eval.hpp"
+#include "util/table.hpp"
+
+using namespace imx;
+
+int main(int argc, char** argv) {
+    const int episodes = argc > 1 ? std::atoi(argv[1]) : 300;
+
+    const auto setup = core::make_paper_setup();
+    const auto& desc = setup.network;
+    const core::AccuracyModel oracle(
+        desc, {core::kPaperFullPrecisionAcc.begin(),
+               core::kPaperFullPrecisionAcc.end()});
+    const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
+                                          core::paper_constraints(),
+                                          /*trace_aware=*/true);
+
+    core::SearchConfig cfg;
+    cfg.episodes = episodes;
+    core::CompressionSearch search(evaluator, cfg);
+
+    auto report = [&](const char* tag, const core::SearchResult& r) {
+        std::printf("%-10s evals %4d feasible %s best Racc %.4f\n", tag,
+                    r.evaluations, r.found_feasible ? "yes" : "no ",
+                    r.best_reward);
+        if (!r.found_feasible) return;
+        const auto acc = oracle.exit_accuracy(r.best_policy);
+        std::printf("  exits acc: %.1f / %.1f / %.1f ; total %.3fM MACs, %.1f KB\n",
+                    acc[0], acc[1], acc[2],
+                    static_cast<double>(compress::total_macs(desc, r.best_policy)) / 1e6,
+                    compress::model_bytes(desc, r.best_policy) / 1024.0);
+        util::Table t("layer policy (" + std::string(tag) + ")");
+        t.header({"layer", "preserve", "w bits", "a bits"});
+        for (std::size_t l = 0; l < desc.num_layers(); ++l) {
+            t.row({desc.layers[l].name,
+                   util::fixed(r.best_policy[l].preserve_ratio, 2),
+                   std::to_string(r.best_policy[l].weight_bits),
+                   std::to_string(r.best_policy[l].activation_bits)});
+        }
+        std::printf("%s", t.to_string().c_str());
+    };
+
+    // Reference points.
+    const auto uniform_score = evaluator.score(core::uniform_baseline_policy());
+    const auto ref_score = evaluator.score(core::reference_nonuniform_policy());
+    std::printf("uniform baseline Racc %.4f | reference nonuniform Racc %.4f\n",
+                uniform_score.racc, ref_score.racc);
+
+    report("DDPG", search.run_ddpg());
+    report("DDPG+ref", search.run_ddpg_refined());
+    report("random", search.run_random());
+    report("annealing", search.run_annealing());
+    return 0;
+}

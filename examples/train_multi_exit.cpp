@@ -1,0 +1,100 @@
+// Example: real multi-exit training and compression on SynthCIFAR.
+//
+// Trains the reduced multi-exit CNN from scratch (real conv/fc backprop, no
+// oracle), then physically compresses two clones — uniformly vs nonuniformly
+// — and evaluates every exit. This demonstrates the Fig. 1b effect on an
+// actual network: uniform compression hurts the early exits most, the
+// shallow-light/deep-heavy nonuniform policy preserves them.
+//
+// Usage: example_train_multi_exit [num_samples] [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "compress/surgery.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "data/synth_cifar.hpp"
+#include "nn/train.hpp"
+#include "util/table.hpp"
+
+using namespace imx;
+
+int main(int argc, char** argv) {
+    const int samples = argc > 1 ? std::atoi(argv[1]) : 700;
+    const int epochs = argc > 2 ? std::atoi(argv[2]) : 5;
+
+    util::Rng rng(2020);
+    nn::ExitGraph graph = core::build_tiny_graph(rng);
+    std::printf("network: %lld params, exits at %lld / %lld / %lld MACs\n",
+                static_cast<long long>(graph.param_count()),
+                static_cast<long long>(graph.exit_macs(0)),
+                static_cast<long long>(graph.exit_macs(1)),
+                static_cast<long long>(graph.exit_macs(2)));
+
+    data::SynthCifarConfig dcfg;
+    dcfg.num_samples = samples;
+    dcfg.height = 16;
+    dcfg.width = 16;
+    dcfg.noise_level = 0.08;
+    dcfg.seed = 9;
+    const auto ds = data::make_synth_cifar(dcfg);
+    const auto [train, test] = data::split(ds, 0.3, 1);
+    std::printf("SynthCIFAR: %zu train / %zu test samples, 10 classes\n",
+                train.size(), test.size());
+
+    nn::TrainConfig tcfg;
+    tcfg.epochs = epochs;
+    tcfg.batch_size = 16;
+    tcfg.lr = 0.03F;
+    const auto history =
+        nn::train_multi_exit(graph, train.images, train.labels, tcfg);
+    for (std::size_t ep = 0; ep < history.size(); ++ep) {
+        std::printf("epoch %zu: loss %.3f, train acc %.2f / %.2f / %.2f\n",
+                    ep + 1, history[ep].mean_loss,
+                    history[ep].exit_accuracy[0], history[ep].exit_accuracy[1],
+                    history[ep].exit_accuracy[2]);
+    }
+
+    const auto desc = core::make_tiny_network_desc();
+    const auto base = nn::evaluate_exits(graph, test.images, test.labels);
+
+    // Uniform: every layer to 50 % channels, 2-bit weights.
+    nn::ExitGraph uniform_net = graph.clone();
+    compress::apply_policy(uniform_net, desc,
+                           compress::Policy::uniform(desc.num_layers(), 0.5, 2, 8));
+    const auto uni = nn::evaluate_exits(uniform_net, test.images, test.labels);
+
+    // Nonuniform: spare the shallow layers, squeeze the deep ones.
+    nn::ExitGraph nonuniform_net = graph.clone();
+    compress::Policy nonuniform =
+        compress::Policy::uniform(desc.num_layers(), 0.5, 2, 8);
+    for (const char* name : {"Conv1", "ConvB1", "FC-B1"}) {
+        auto& lp = nonuniform[static_cast<std::size_t>(desc.layer_index(name))];
+        lp.preserve_ratio = 0.95;
+        lp.weight_bits = 8;
+    }
+    for (const char* name : {"Conv3", "Conv4"}) {
+        nonuniform[static_cast<std::size_t>(desc.layer_index(name))]
+            .preserve_ratio = 0.35;
+    }
+    compress::apply_policy(nonuniform_net, desc, nonuniform);
+    const auto non = nn::evaluate_exits(nonuniform_net, test.images, test.labels);
+
+    util::Table table("real-network Fig. 1b direction check (test accuracy)");
+    table.header({"exit", "full precision", "uniform 0.5x/2b",
+                  "nonuniform (shallow-light)"});
+    for (int e = 0; e < 3; ++e) {
+        const auto i = static_cast<std::size_t>(e);
+        table.row({"exit " + std::to_string(e + 1), util::fixed(base[i], 3),
+                   util::fixed(uni[i], 3), util::fixed(non[i], 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nexit-1 accuracy kept by nonuniform vs uniform: %+.3f\n",
+                non[0] - uni[0]);
+    std::printf("compressed MACs: uniform %lld, nonuniform %lld (full %lld)\n",
+                static_cast<long long>(uniform_net.total_macs()),
+                static_cast<long long>(nonuniform_net.total_macs()),
+                static_cast<long long>(graph.total_macs()));
+    return 0;
+}

@@ -1,0 +1,52 @@
+// The paper's comparison systems (Sec. V-C):
+//  * SonicNet — the network shipped with the SONIC intermittent-inference
+//    runtime [Gobieski et al., ASPLOS'19]: single exit, 2.0 MFLOPs, 75.4 %
+//    accuracy on processed events.
+//  * SpArSeNet — output of the SpArSe NAS for MCUs [Fedorov et al.]:
+//    single exit, 11.4 MFLOPs, 82.7 %.
+//  * LeNet-Cifar — hand-adapted LeNet: single exit, 0.72 MFLOPs, 74.7 %
+//    (FLOPs inferred from the paper's Fig. 5/latency arithmetic, DESIGN.md).
+// All three run on the checkpointed (SONIC-style) execution model.
+#ifndef IMX_BASELINES_BASELINE_MODELS_HPP
+#define IMX_BASELINES_BASELINE_MODELS_HPP
+
+#include <string>
+
+#include "sim/inference_model.hpp"
+
+namespace imx::baselines {
+
+/// Single-exit model with fixed cost and accuracy; correctness is decided by
+/// the same hashed-difficulty construction as the core oracle so baselines
+/// and our network face the same event stream difficulty.
+class FixedBaselineModel final : public sim::InferenceModel {
+public:
+    FixedBaselineModel(std::string name, double mflops, double accuracy_percent,
+                       double model_kb, std::uint64_t seed = 1234);
+
+    [[nodiscard]] int num_exits() const override { return 1; }
+    [[nodiscard]] std::int64_t exit_macs(int exit) const override;
+    [[nodiscard]] std::int64_t incremental_macs(int from_exit,
+                                                int to_exit) const override;
+    [[nodiscard]] sim::ExitOutcome evaluate(int event_id, int exit) override;
+    [[nodiscard]] double model_bytes() const override { return bytes_; }
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] double accuracy_percent() const { return accuracy_; }
+
+private:
+    std::string name_;
+    std::int64_t macs_;
+    double accuracy_;
+    double bytes_;
+    std::uint64_t seed_;
+};
+
+/// Factories with the paper's characterizations.
+FixedBaselineModel make_sonic_net(std::uint64_t seed = 1234);
+FixedBaselineModel make_sparse_net(std::uint64_t seed = 1234);
+FixedBaselineModel make_lenet_cifar(std::uint64_t seed = 1234);
+
+}  // namespace imx::baselines
+
+#endif  // IMX_BASELINES_BASELINE_MODELS_HPP

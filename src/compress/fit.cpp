@@ -1,0 +1,51 @@
+#include "compress/fit.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace imx::compress {
+
+bool satisfies(const NetworkDesc& desc, const Policy& policy,
+               const Constraints& constraints) {
+    if (constraints.f_target_macs > 0.0 &&
+        static_cast<double>(total_macs(desc, policy)) >
+            constraints.f_target_macs) {
+        return false;
+    }
+    if (constraints.s_target_bytes > 0.0 &&
+        model_bytes(desc, policy) > constraints.s_target_bytes) {
+        return false;
+    }
+    return true;
+}
+
+Policy make_uniform_for_targets(const NetworkDesc& desc,
+                                const Constraints& constraints,
+                                int activation_bits) {
+    IMX_EXPECTS(constraints.f_target_macs > 0.0);
+    IMX_EXPECTS(constraints.s_target_bytes > 0.0);
+
+    // Walk the preserve grid from 1.0 downward; FLOPs are monotone in alpha.
+    const int steps = static_cast<int>(
+        (kMaxPreserve - kMinPreserve) / kPreserveStep + 0.5);
+    for (int i = 0; i <= steps; ++i) {
+        const double alpha = kMaxPreserve - i * kPreserveStep;
+        Policy p = Policy::uniform(desc.num_layers(), alpha, kMaxBits,
+                                   activation_bits);
+        if (static_cast<double>(total_macs(desc, p)) >
+            constraints.f_target_macs) {
+            continue;
+        }
+        // FLOPs satisfied; now shrink bits until size fits.
+        for (int bits = kMaxBits; bits >= kMinBits; --bits) {
+            for (auto& lp : p.layers) lp.weight_bits = bits;
+            if (model_bytes(desc, p) <= constraints.s_target_bytes) return p;
+        }
+    }
+    throw std::runtime_error(
+        "make_uniform_for_targets: constraints unsatisfiable even at "
+        "alpha=0.05, 1-bit weights");
+}
+
+}  // namespace imx::compress

@@ -1,0 +1,143 @@
+#include "compress/network_desc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace imx::compress {
+
+int NetworkDesc::layer_index(const std::string& name) const {
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].name == name) return static_cast<int>(i);
+    }
+    throw std::out_of_range("NetworkDesc: unknown layer " + name);
+}
+
+void NetworkDesc::validate() const {
+    IMX_EXPECTS(num_exits > 0);
+    IMX_EXPECTS(static_cast<int>(exit_paths.size()) == num_exits);
+    for (const auto& layer : layers) {
+        IMX_EXPECTS(layer.base_macs > 0);
+        IMX_EXPECTS(layer.weight_params > 0);
+        IMX_EXPECTS(layer.in_junction >= -1 &&
+                    layer.in_junction < static_cast<int>(junctions.size()));
+        IMX_EXPECTS(layer.out_junction >= -1 &&
+                    layer.out_junction < static_cast<int>(junctions.size()));
+    }
+    for (std::size_t j = 0; j < junctions.size(); ++j) {
+        const auto& junction = junctions[j];
+        IMX_EXPECTS(!junction.consumers.empty());
+        IMX_EXPECTS(junction.producer >= -1 &&
+                    junction.producer < static_cast<int>(layers.size()));
+        if (junction.producer >= 0) {
+            IMX_EXPECTS(layers[static_cast<std::size_t>(junction.producer)]
+                            .out_junction == static_cast<int>(j));
+        }
+        for (const int c : junction.consumers) {
+            IMX_EXPECTS(c >= 0 && c < static_cast<int>(layers.size()));
+            IMX_EXPECTS(layers[static_cast<std::size_t>(c)].in_junction ==
+                        static_cast<int>(j));
+        }
+    }
+    for (const auto& path : exit_paths) {
+        IMX_EXPECTS(!path.empty());
+        for (const int l : path) {
+            IMX_EXPECTS(l >= 0 && l < static_cast<int>(layers.size()));
+        }
+        // Final layer on each path must emit logits (no out junction).
+        IMX_EXPECTS(layers[static_cast<std::size_t>(path.back())].out_junction == -1);
+    }
+}
+
+double effective_input_alpha(const NetworkDesc& desc, const Policy& policy,
+                             int layer) {
+    IMX_EXPECTS(layer >= 0 && layer < static_cast<int>(desc.layers.size()));
+    IMX_EXPECTS(policy.size() == desc.layers.size());
+    const LayerDesc& ld = desc.layers[static_cast<std::size_t>(layer)];
+    if (ld.in_junction < 0) return 1.0;  // raw image input is never pruned
+    const Junction& junction =
+        desc.junctions[static_cast<std::size_t>(ld.in_junction)];
+    if (junction.producer < 0) return 1.0;
+    return policy[static_cast<std::size_t>(layer)].preserve_ratio;
+}
+
+double junction_alpha(const NetworkDesc& desc, const Policy& policy,
+                      int junction) {
+    IMX_EXPECTS(junction >= 0 && junction < static_cast<int>(desc.junctions.size()));
+    const Junction& j = desc.junctions[static_cast<std::size_t>(junction)];
+    if (j.producer < 0) return 1.0;  // image input junction
+    double alpha = 0.0;
+    for (const int consumer : j.consumers) {
+        alpha = std::max(alpha,
+                         policy[static_cast<std::size_t>(consumer)].preserve_ratio);
+    }
+    return alpha;
+}
+
+std::int64_t layer_macs(const NetworkDesc& desc, const Policy& policy,
+                        int layer) {
+    const LayerDesc& ld = desc.layers[static_cast<std::size_t>(layer)];
+    const double a_in = effective_input_alpha(desc, policy, layer);
+    const double a_out =
+        ld.out_junction < 0 ? 1.0 : junction_alpha(desc, policy, ld.out_junction);
+    return static_cast<std::int64_t>(
+        static_cast<double>(ld.base_macs) * a_in * a_out + 0.5);
+}
+
+double layer_bytes(const NetworkDesc& desc, const Policy& policy, int layer) {
+    const LayerDesc& ld = desc.layers[static_cast<std::size_t>(layer)];
+    const double a_in = effective_input_alpha(desc, policy, layer);
+    const double a_out =
+        ld.out_junction < 0 ? 1.0 : junction_alpha(desc, policy, ld.out_junction);
+    const int bits = policy[static_cast<std::size_t>(layer)].weight_bits;
+    const double weight_bytes = static_cast<double>(ld.weight_params) * a_in *
+                                a_out * static_cast<double>(bits) / 8.0;
+    const double bias_bytes = static_cast<double>(ld.bias_params) * a_out * 4.0;
+    return weight_bytes + bias_bytes;
+}
+
+std::int64_t exit_macs(const NetworkDesc& desc, const Policy& policy, int exit) {
+    IMX_EXPECTS(exit >= 0 && exit < desc.num_exits);
+    std::int64_t total = 0;
+    for (const int layer : desc.exit_paths[static_cast<std::size_t>(exit)]) {
+        total += layer_macs(desc, policy, layer);
+    }
+    return total;
+}
+
+std::int64_t total_macs(const NetworkDesc& desc, const Policy& policy) {
+    std::int64_t total = 0;
+    for (std::size_t l = 0; l < desc.layers.size(); ++l) {
+        total += layer_macs(desc, policy, static_cast<int>(l));
+    }
+    return total;
+}
+
+std::int64_t exit_macs_total(const NetworkDesc& desc, const Policy& policy) {
+    std::int64_t total = 0;
+    for (int e = 0; e < desc.num_exits; ++e) {
+        total += exit_macs(desc, policy, e);
+    }
+    return total;
+}
+
+double model_bytes(const NetworkDesc& desc, const Policy& policy) {
+    double total = 0.0;
+    for (std::size_t l = 0; l < desc.layers.size(); ++l) {
+        total += layer_bytes(desc, policy, static_cast<int>(l));
+    }
+    return total;
+}
+
+std::vector<std::int64_t> per_exit_macs(const NetworkDesc& desc,
+                                        const Policy& policy) {
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(desc.num_exits));
+    for (int e = 0; e < desc.num_exits; ++e) {
+        out.push_back(exit_macs(desc, policy, e));
+    }
+    return out;
+}
+
+}  // namespace imx::compress

@@ -1,0 +1,96 @@
+// Analytic description of a multi-exit network for FLOPs / model-size
+// accounting under a compression policy (paper Eq. 6-8 cost side).
+//
+// Channel-pruning cost semantics:
+//  * alpha_l (LayerPolicy::preserve_ratio) keeps a fraction of layer l's
+//    *input* channels;
+//  * the *output* channels of a producer layer are pruned to the union of
+//    what its consumers keep. Keep-sets are importance-ranked prefixes, so
+//    the union fraction equals max over consumers' alpha;
+//  * the image input is never pruned (alpha of the first layers is treated
+//    as 1.0 on the input side).
+// MACs(l) = base_macs * alpha_in_eff(l) * alpha_out(l); weight bytes scale
+// with the same channel fractions times bits/8 (biases stay fp32).
+#ifndef IMX_COMPRESS_NETWORK_DESC_HPP
+#define IMX_COMPRESS_NETWORK_DESC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/policy.hpp"
+
+namespace imx::compress {
+
+enum class LayerKind { kConv, kFc };
+
+/// One prunable/quantizable layer (conv or fc); pass-through layers
+/// (ReLU/pool/flatten) are folded into the descriptor geometry.
+struct LayerDesc {
+    std::string name;
+    LayerKind kind = LayerKind::kConv;
+    std::int64_t base_macs = 0;      ///< MACs at alpha = 1 everywhere
+    std::int64_t weight_params = 0;  ///< weight element count at alpha = 1
+    std::int64_t bias_params = 0;
+    int in_count = 0;   ///< input channels (conv) / features (fc)
+    int out_count = 0;  ///< output channels (conv) / features (fc)
+    int in_junction = -1;   ///< junction feeding this layer (-1: image input)
+    int out_junction = -1;  ///< junction this layer produces (-1: logits)
+};
+
+/// A junction is a tensor shared between one producer and >=1 consumers
+/// (branch points have multiple consumers).
+struct Junction {
+    int producer = -1;  ///< layer index; -1 for the image input
+    std::vector<int> consumers;
+};
+
+/// Whole-network table plus exit structure.
+struct NetworkDesc {
+    std::vector<LayerDesc> layers;
+    std::vector<Junction> junctions;
+    int num_exits = 0;
+    /// exit_paths[i] = indices of layers executed to produce exit i's logits.
+    std::vector<std::vector<int>> exit_paths;
+
+    [[nodiscard]] std::size_t num_layers() const { return layers.size(); }
+    [[nodiscard]] int layer_index(const std::string& name) const;
+    void validate() const;  ///< checks structural invariants; throws on error
+};
+
+/// Effective preserve fraction of layer l's input: its own alpha, except 1.0
+/// when fed by the raw image.
+double effective_input_alpha(const NetworkDesc& desc, const Policy& policy,
+                             int layer);
+
+/// Preserve fraction of a junction's producer outputs: max over consumers.
+double junction_alpha(const NetworkDesc& desc, const Policy& policy,
+                      int junction);
+
+/// MACs of one layer under the policy.
+std::int64_t layer_macs(const NetworkDesc& desc, const Policy& policy, int layer);
+
+/// Weight storage in bytes of one layer under the policy (weights at
+/// weight_bits, biases at 32-bit).
+double layer_bytes(const NetworkDesc& desc, const Policy& policy, int layer);
+
+/// MACs to compute exit i from scratch.
+std::int64_t exit_macs(const NetworkDesc& desc, const Policy& policy, int exit);
+
+/// Sum of every layer's MACs (paper's Fmodel = sum over exits' FLOPs uses
+/// exit sums; both are exposed — see exit_macs_total).
+std::int64_t total_macs(const NetworkDesc& desc, const Policy& policy);
+
+/// Paper Eq. 8 reading "Fmodel = sum_i flop_i": total over the m exits.
+std::int64_t exit_macs_total(const NetworkDesc& desc, const Policy& policy);
+
+/// Total model weight storage in bytes under the policy.
+double model_bytes(const NetworkDesc& desc, const Policy& policy);
+
+/// Per-exit MACs vector.
+std::vector<std::int64_t> per_exit_macs(const NetworkDesc& desc,
+                                        const Policy& policy);
+
+}  // namespace imx::compress
+
+#endif  // IMX_COMPRESS_NETWORK_DESC_HPP

@@ -1,0 +1,22 @@
+#include "compress/policy.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace imx::compress {
+
+double snap_preserve_ratio(double ratio) {
+    const double snapped =
+        std::nearbyint(ratio / kPreserveStep) * kPreserveStep;
+    return util::clamp(snapped, kMinPreserve, kMaxPreserve);
+}
+
+int map_action_to_bits(double action, int lo, int hi) {
+    IMX_EXPECTS(lo >= 1 && hi >= lo);
+    const double a = util::clamp(action, 0.0, 1.0);
+    const int bits = lo + static_cast<int>(std::nearbyint(a * (hi - lo)));
+    return util::clamp(bits, lo, hi);
+}
+
+}  // namespace imx::compress

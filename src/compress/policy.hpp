@@ -1,0 +1,66 @@
+// Layer-wise compression policy: pruning rate + weight/activation bitwidths
+// (the decision variables of paper Sec. III-A).
+#ifndef IMX_COMPRESS_POLICY_HPP
+#define IMX_COMPRESS_POLICY_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace imx::compress {
+
+/// Paper search-space bounds: alpha in [0.05, 1.0] step 0.05, bits in [1, 8].
+constexpr double kMinPreserve = 0.05;
+constexpr double kMaxPreserve = 1.0;
+constexpr double kPreserveStep = 0.05;
+constexpr int kMinBits = 1;
+constexpr int kMaxBits = 8;
+
+/// Per-layer decisions. preserve_ratio is alpha_l = c'/c on the layer's
+/// *input* channels (paper Sec. III-A "Pruning").
+struct LayerPolicy {
+    double preserve_ratio = 1.0;
+    int weight_bits = 8;
+    int activation_bits = 8;
+};
+
+/// Whole-network policy, indexed like the NetworkDesc layer table.
+struct Policy {
+    std::vector<LayerPolicy> layers;
+
+    [[nodiscard]] std::size_t size() const { return layers.size(); }
+    LayerPolicy& operator[](std::size_t i) { return layers.at(i); }
+    const LayerPolicy& operator[](std::size_t i) const { return layers.at(i); }
+
+    /// All layers at the given ratio/bitwidths (the "uniform compression"
+    /// baseline of Fig. 1b).
+    static Policy uniform(std::size_t num_layers, double preserve_ratio,
+                          int weight_bits, int activation_bits) {
+        IMX_EXPECTS(preserve_ratio > 0.0 && preserve_ratio <= 1.0);
+        IMX_EXPECTS(weight_bits >= kMinBits && weight_bits <= 16);
+        IMX_EXPECTS(activation_bits >= kMinBits && activation_bits <= 16);
+        Policy p;
+        p.layers.assign(num_layers,
+                        LayerPolicy{preserve_ratio, weight_bits, activation_bits});
+        return p;
+    }
+
+    /// Uncompressed network (alpha = 1, fp32 expressed as 32-bit "codes").
+    static Policy full_precision(std::size_t num_layers) {
+        Policy p;
+        p.layers.assign(num_layers, LayerPolicy{1.0, 32, 32});
+        return p;
+    }
+};
+
+/// Snap a continuous ratio to the paper's 0.05 grid within [0.05, 1].
+double snap_preserve_ratio(double ratio);
+
+/// Map a continuous action in [0,1] to a bitwidth in [lo, hi] (paper
+/// Sec. III-B "Action": linear mapping then rounding).
+int map_action_to_bits(double action, int lo, int hi);
+
+}  // namespace imx::compress
+
+#endif  // IMX_COMPRESS_POLICY_HPP

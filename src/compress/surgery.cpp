@@ -1,0 +1,254 @@
+#include "compress/surgery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/quantize.hpp"
+#include "util/contracts.hpp"
+
+namespace imx::compress {
+
+nn::Tensor ActQuant::forward(const nn::Tensor& input) {
+    if (bits_ >= 32) return input;
+    nn::Tensor out = input;
+    nn::fake_quantize_activations(out, bits_);
+    return out;
+}
+
+nn::Tensor ActQuant::backward(const nn::Tensor& grad_output) {
+    return grad_output;  // straight-through estimator
+}
+
+namespace {
+
+/// A prunable layer (conv or fc) found while walking the graph.
+struct PrunableRef {
+    nn::Conv2d* conv = nullptr;
+    nn::Linear* fc = nullptr;
+
+    [[nodiscard]] std::string name() const {
+        return conv != nullptr ? conv->name() : fc->name();
+    }
+    [[nodiscard]] int input_count() const {
+        return conv != nullptr ? conv->in_channels() : fc->in_features();
+    }
+    [[nodiscard]] int output_count() const {
+        return conv != nullptr ? conv->out_channels() : fc->out_features();
+    }
+};
+
+PrunableRef as_prunable(nn::Layer& layer) {
+    PrunableRef ref;
+    ref.conv = dynamic_cast<nn::Conv2d*>(&layer);
+    if (ref.conv == nullptr) ref.fc = dynamic_cast<nn::Linear*>(&layer);
+    return ref;
+}
+
+bool is_prunable(const PrunableRef& ref) {
+    return ref.conv != nullptr || ref.fc != nullptr;
+}
+
+std::vector<PrunableRef> prunables_of(nn::Segment& segment) {
+    std::vector<PrunableRef> out;
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+        PrunableRef ref = as_prunable(segment.layer(i));
+        if (is_prunable(ref)) out.push_back(ref);
+    }
+    return out;
+}
+
+/// Producer/consumers of one junction in the live graph.
+struct LiveJunction {
+    PrunableRef producer;
+    std::vector<PrunableRef> consumers;
+};
+
+/// Enumerate all junctions: within-chain adjacencies plus trunk branch points.
+std::vector<LiveJunction> find_junctions(nn::ExitGraph& graph) {
+    const int m = graph.num_exits();
+    std::vector<std::vector<PrunableRef>> trunk_layers;
+    std::vector<std::vector<PrunableRef>> branch_layers;
+    for (int i = 0; i < m; ++i) {
+        trunk_layers.push_back(prunables_of(graph.trunk_segment(i)));
+        branch_layers.push_back(prunables_of(graph.branch(i)));
+        IMX_EXPECTS(!trunk_layers.back().empty());
+        IMX_EXPECTS(!branch_layers.back().empty());
+    }
+
+    std::vector<LiveJunction> junctions;
+    auto chain_adjacencies = [&junctions](std::vector<PrunableRef>& chain) {
+        for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+            junctions.push_back({chain[i], {chain[i + 1]}});
+        }
+    };
+    for (int i = 0; i < m; ++i) {
+        chain_adjacencies(trunk_layers[static_cast<std::size_t>(i)]);
+        chain_adjacencies(branch_layers[static_cast<std::size_t>(i)]);
+        // Trunk segment i's last prunable feeds branch i (and trunk i+1).
+        LiveJunction j;
+        j.producer = trunk_layers[static_cast<std::size_t>(i)].back();
+        j.consumers.push_back(branch_layers[static_cast<std::size_t>(i)].front());
+        if (i + 1 < m) {
+            j.consumers.push_back(trunk_layers[static_cast<std::size_t>(i + 1)].front());
+        }
+        junctions.push_back(std::move(j));
+    }
+    return junctions;
+}
+
+/// Importance of the producer's output channels as seen by one consumer,
+/// normalized to sum 1. For Linear consumers, features are grouped into
+/// per-channel blocks of size in_features / producer_outputs.
+std::vector<double> consumer_channel_importance(const PrunableRef& consumer,
+                                                int producer_outputs) {
+    std::vector<double> raw;
+    if (consumer.conv != nullptr) {
+        IMX_EXPECTS(consumer.conv->in_channels() == producer_outputs);
+        raw = consumer.conv->input_channel_importance();
+    } else {
+        const int in_features = consumer.fc->in_features();
+        IMX_EXPECTS(in_features % producer_outputs == 0);
+        const int block = in_features / producer_outputs;
+        const std::vector<double> per_feature = consumer.fc->input_importance();
+        raw.assign(static_cast<std::size_t>(producer_outputs), 0.0);
+        for (int c = 0; c < producer_outputs; ++c) {
+            for (int f = 0; f < block; ++f) {
+                raw[static_cast<std::size_t>(c)] +=
+                    per_feature[static_cast<std::size_t>(c * block + f)];
+            }
+        }
+    }
+    const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+    if (total > 0.0) {
+        for (double& v : raw) v /= total;
+    }
+    return raw;
+}
+
+std::vector<int> expand_channel_keep_to_features(const std::vector<int>& keep,
+                                                 int block) {
+    std::vector<int> features;
+    features.reserve(keep.size() * static_cast<std::size_t>(block));
+    for (const int c : keep) {
+        for (int f = 0; f < block; ++f) features.push_back(c * block + f);
+    }
+    return features;
+}
+
+void prune_junction(const LiveJunction& junction,
+                    const std::unordered_map<std::string, double>& preserve) {
+    const int channels = junction.producer.output_count();
+
+    // Keep count: the largest consumer request (union of ranked prefixes).
+    int keep_count = 0;
+    bool any_request = false;
+    for (const PrunableRef& consumer : junction.consumers) {
+        const auto it = preserve.find(consumer.name());
+        const double alpha = it == preserve.end() ? 1.0 : it->second;
+        IMX_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+        if (it != preserve.end()) any_request = true;
+        const int want = std::max(
+            1, static_cast<int>(std::nearbyint(alpha * channels)));
+        keep_count = std::max(keep_count, want);
+    }
+    if (!any_request || keep_count >= channels) return;
+
+    // Rank channels by summed normalized consumer importance.
+    std::vector<double> combined(static_cast<std::size_t>(channels), 0.0);
+    for (const PrunableRef& consumer : junction.consumers) {
+        const std::vector<double> imp =
+            consumer_channel_importance(consumer, channels);
+        for (int c = 0; c < channels; ++c) {
+            combined[static_cast<std::size_t>(c)] += imp[static_cast<std::size_t>(c)];
+        }
+    }
+    std::vector<int> order(static_cast<std::size_t>(channels));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&combined](int a, int b) {
+        return combined[static_cast<std::size_t>(a)] >
+               combined[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> keep(order.begin(), order.begin() + keep_count);
+    std::sort(keep.begin(), keep.end());
+
+    if (junction.producer.conv != nullptr) {
+        junction.producer.conv->prune_output_channels(keep);
+    } else {
+        junction.producer.fc->prune_outputs(keep);
+    }
+    for (const PrunableRef& consumer : junction.consumers) {
+        if (consumer.conv != nullptr) {
+            consumer.conv->prune_input_channels(keep);
+        } else {
+            const int block = consumer.fc->in_features() / channels;
+            consumer.fc->prune_inputs(expand_channel_keep_to_features(keep, block));
+        }
+    }
+}
+
+template <typename Fn>
+void for_each_layer(nn::ExitGraph& graph, Fn&& fn) {
+    for (int i = 0; i < graph.num_exits(); ++i) {
+        nn::Segment& t = graph.trunk_segment(i);
+        for (std::size_t l = 0; l < t.size(); ++l) fn(t.layer(l));
+        nn::Segment& b = graph.branch(i);
+        for (std::size_t l = 0; l < b.size(); ++l) fn(b.layer(l));
+    }
+}
+
+}  // namespace
+
+void apply_pruning(nn::ExitGraph& graph,
+                   const std::unordered_map<std::string, double>& preserve) {
+    // Junctions are pruned from the input side forward so that consumer
+    // importance is always computed on already-consistent shapes.
+    const std::vector<LiveJunction> junctions = find_junctions(graph);
+    for (const LiveJunction& junction : junctions) {
+        prune_junction(junction, preserve);
+    }
+}
+
+void apply_weight_quantization(
+    nn::ExitGraph& graph, const std::unordered_map<std::string, int>& bits) {
+    for_each_layer(graph, [&bits](nn::Layer& layer) {
+        const auto it = bits.find(layer.name());
+        if (it == bits.end() || it->second >= 32) return;
+        if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+            nn::fake_quantize_weights(conv->weight(), it->second);
+        } else if (auto* fc = dynamic_cast<nn::Linear*>(&layer)) {
+            nn::fake_quantize_weights(fc->weight(), it->second);
+        }
+    });
+}
+
+void apply_activation_quantization(
+    nn::ExitGraph& graph, const std::unordered_map<std::string, int>& bits) {
+    for_each_layer(graph, [&bits](nn::Layer& layer) {
+        auto* aq = dynamic_cast<ActQuant*>(&layer);
+        if (aq == nullptr) return;
+        const auto it = bits.find(aq->name());
+        if (it != bits.end()) aq->set_bits(it->second);
+    });
+}
+
+void apply_policy(nn::ExitGraph& graph, const NetworkDesc& desc,
+                  const Policy& policy) {
+    IMX_EXPECTS(policy.size() == desc.num_layers());
+    std::unordered_map<std::string, double> preserve;
+    std::unordered_map<std::string, int> weight_bits;
+    std::unordered_map<std::string, int> act_bits;
+    for (std::size_t l = 0; l < desc.num_layers(); ++l) {
+        const std::string& name = desc.layers[l].name;
+        preserve[name] = policy[l].preserve_ratio;
+        weight_bits[name] = policy[l].weight_bits;
+        act_bits[name + "/aq"] = policy[l].activation_bits;
+    }
+    apply_pruning(graph, preserve);
+    apply_weight_quantization(graph, weight_bits);
+    apply_activation_quantization(graph, act_bits);
+}
+
+}  // namespace imx::compress

@@ -1,0 +1,71 @@
+// Physical compression of a live ExitGraph: channel pruning with correct
+// producer/consumer bookkeeping across branch junctions, weight fake
+// quantization, and activation quantization via ActQuant layers.
+//
+// Junction rule: at a branch point the kept channel set is shared by all
+// consumers — the keep count is the largest consumer request and channels
+// are ranked by the sum of the consumers' normalized L1 importances
+// (paper Eq. 2 per consumer). This is the deployable interpretation of
+// per-layer input pruning on a branching topology.
+#ifndef IMX_COMPRESS_SURGERY_HPP
+#define IMX_COMPRESS_SURGERY_HPP
+
+#include <string>
+#include <unordered_map>
+
+#include "compress/network_desc.hpp"
+#include "nn/exit_graph.hpp"
+#include "nn/layer.hpp"
+
+namespace imx::compress {
+
+/// Fake-quantizes (non-negative, post-ReLU) activations during forward;
+/// straight-through gradient in backward. bits >= 32 is a pass-through, so
+/// builders can insert these unconditionally and surgery just sets bits.
+class ActQuant final : public nn::Layer {
+public:
+    explicit ActQuant(std::string name, int bits = 32)
+        : name_(std::move(name)), bits_(bits) {}
+
+    nn::Tensor forward(const nn::Tensor& input) override;
+    nn::Tensor backward(const nn::Tensor& grad_output) override;
+    [[nodiscard]] nn::Shape output_shape(const nn::Shape& s) const override {
+        return s;
+    }
+    [[nodiscard]] std::int64_t macs(const nn::Shape&) const override { return 0; }
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] nn::LayerPtr clone() const override {
+        return std::make_unique<ActQuant>(name_, bits_);
+    }
+
+    void set_bits(int bits) { bits_ = bits; }
+    [[nodiscard]] int bits() const { return bits_; }
+
+private:
+    std::string name_;
+    int bits_;
+};
+
+/// Prune the graph in place. `preserve` maps prunable layer names (Conv2d /
+/// Linear) to the preserve ratio of that layer's *input* channels. Layers not
+/// in the map keep ratio 1.0. The first layer's image input is never pruned.
+void apply_pruning(nn::ExitGraph& graph,
+                   const std::unordered_map<std::string, double>& preserve);
+
+/// Fake-quantize the weights of named Conv2d/Linear layers (bits >= 32: no-op).
+void apply_weight_quantization(nn::ExitGraph& graph,
+                               const std::unordered_map<std::string, int>& bits);
+
+/// Set bitwidths on named ActQuant layers (bits >= 32: pass-through).
+void apply_activation_quantization(
+    nn::ExitGraph& graph, const std::unordered_map<std::string, int>& bits);
+
+/// Apply a full Policy to the graph by NetworkDesc layer names: pruning, then
+/// weight quantization, then activation quantization (ActQuant layer names
+/// are expected to be "<layer>/aq").
+void apply_policy(nn::ExitGraph& graph, const NetworkDesc& desc,
+                  const Policy& policy);
+
+}  // namespace imx::compress
+
+#endif  // IMX_COMPRESS_SURGERY_HPP

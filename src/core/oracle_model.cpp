@@ -1,0 +1,92 @@
+#include "core/oracle_model.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace imx::core {
+
+namespace {
+
+/// Stateless hash -> U(0,1); decorrelated streams via distinct salts.
+double hash_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                      (b * 0xc2b2ae3d27d4eb4fULL);
+    const std::uint64_t z = util::splitmix64(s);
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+OracleInferenceModel::OracleInferenceModel(
+    const compress::NetworkDesc& desc, const compress::Policy& policy,
+    std::vector<double> exit_accuracy_percent, const OracleModelConfig& config)
+    : accuracy_(std::move(exit_accuracy_percent)), config_(config) {
+    IMX_EXPECTS(static_cast<int>(accuracy_.size()) == desc.num_exits);
+    // Note: exit accuracy need not be monotone (a searched policy can leave a
+    // middle exit weak). The shared latent difficulty keeps outcomes
+    // consistent: advancing to a weaker exit can genuinely flip a result.
+    exit_macs_ = compress::per_exit_macs(desc, policy);
+    model_bytes_ = compress::model_bytes(desc, policy);
+    path_macs_.resize(accuracy_.size());
+    for (int e = 0; e < desc.num_exits; ++e) {
+        for (const int l : desc.exit_paths[static_cast<std::size_t>(e)]) {
+            path_macs_[static_cast<std::size_t>(e)].emplace_back(
+                l, compress::layer_macs(desc, policy, l));
+        }
+    }
+}
+
+int OracleInferenceModel::num_exits() const {
+    return static_cast<int>(accuracy_.size());
+}
+
+std::int64_t OracleInferenceModel::exit_macs(int exit) const {
+    IMX_EXPECTS(exit >= 0 && exit < num_exits());
+    return exit_macs_[static_cast<std::size_t>(exit)];
+}
+
+std::int64_t OracleInferenceModel::incremental_macs(int from_exit,
+                                                    int to_exit) const {
+    IMX_EXPECTS(to_exit > from_exit && to_exit < num_exits());
+    if (from_exit < 0) return exit_macs(to_exit);
+    // Layers on to_exit's path that from_exit's path did not execute.
+    const auto& from_path = path_macs_[static_cast<std::size_t>(from_exit)];
+    std::int64_t total = 0;
+    for (const auto& [layer, macs] : path_macs_[static_cast<std::size_t>(to_exit)]) {
+        const bool already_run =
+            std::any_of(from_path.begin(), from_path.end(),
+                        [layer](const auto& p) { return p.first == layer; });
+        if (!already_run) total += macs;
+    }
+    return total;
+}
+
+double OracleInferenceModel::difficulty(int event_id) const {
+    return hash_uniform(config_.seed, static_cast<std::uint64_t>(event_id), 0);
+}
+
+sim::ExitOutcome OracleInferenceModel::evaluate(int event_id, int exit) {
+    IMX_EXPECTS(exit >= 0 && exit < num_exits());
+    const double u = difficulty(event_id);
+    const double acc = accuracy_[static_cast<std::size_t>(exit)] / 100.0;
+
+    sim::ExitOutcome outcome;
+    outcome.correct = u < acc;
+
+    const double margin = acc - u;
+    const double jitter =
+        (hash_uniform(config_.seed, static_cast<std::uint64_t>(event_id),
+                      static_cast<std::uint64_t>(exit) + 1) -
+         0.5) *
+        2.0 * config_.confidence_noise;
+    outcome.confidence = util::clamp(
+        util::sigmoid(config_.confidence_slope * margin + config_.confidence_bias +
+                      jitter),
+        0.0, 1.0);
+    return outcome;
+}
+
+}  // namespace imx::core

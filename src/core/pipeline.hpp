@@ -1,0 +1,51 @@
+// One-call facade over the paper's two-phase system: (optionally) search a
+// nonuniform compression policy for the trace, deploy it, then run the
+// intermittent runtime with both the static LUT and the learned Q-policy.
+//
+// Examples and downstream users that don't need the knobs can get from
+// "paper setup" to "IEpmJ numbers" in three lines; everything it does is
+// also available piecemeal through the underlying modules.
+#ifndef IMX_CORE_PIPELINE_HPP
+#define IMX_CORE_PIPELINE_HPP
+
+#include "compress/policy.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/runtime.hpp"
+#include "core/search.hpp"
+#include "sim/metrics.hpp"
+
+namespace imx::core {
+
+struct PipelineConfig {
+    SetupConfig setup{};
+    /// When true, run the DDPG+refine search for the deployed policy;
+    /// otherwise deploy the Fig. 4-shaped reference policy.
+    bool run_search = false;
+    SearchConfig search{};
+    RuntimeConfig runtime{};
+    int learning_episodes = 16;
+};
+
+struct PipelineReport {
+    compress::Policy deployed_policy;
+    std::vector<double> exit_accuracy;       ///< oracle accuracy (%) per exit
+    std::vector<std::int64_t> exit_macs;     ///< deployed per-exit cost
+    double model_bytes = 0.0;
+    bool fits_flash = false;
+    sim::SimResult static_lut;               ///< runtime phase, static policy
+    sim::SimResult learned;                  ///< runtime phase, Q-learning
+    std::vector<double> learning_curve;      ///< per-episode all-event acc (%)
+
+    /// Relative IEpmJ gain of the learned runtime over the static LUT.
+    [[nodiscard]] double adaptation_gain() const {
+        const double lut = static_lut.iepmj();
+        return lut > 0.0 ? (learned.iepmj() - lut) / lut : 0.0;
+    }
+};
+
+/// Execute the full pipeline. Deterministic for a given config.
+PipelineReport run_pipeline(const PipelineConfig& config = {});
+
+}  // namespace imx::core
+
+#endif  // IMX_CORE_PIPELINE_HPP

@@ -1,0 +1,103 @@
+#include "core/runtime.hpp"
+
+#include "util/contracts.hpp"
+
+namespace imx::core {
+
+QLearningExitPolicy::QLearningExitPolicy(int num_exits,
+                                         const RuntimeConfig& config)
+    : num_exits_(num_exits),
+      config_(config),
+      exit_q_(config.energy_bins * config.rate_bins,
+              static_cast<std::size_t>(num_exits), config.exit_q, config.seed),
+      incremental_q_(config.confidence_bins * config.incremental_energy_bins, 2,
+                     config.incremental_q, config.seed ^ 0x99),
+      level_bins_(0.0, 1.0, config.energy_bins),
+      rate_bins_(0.0, config.max_rate_mw, config.rate_bins),
+      conf_bins_(0.0, 1.0, config.confidence_bins),
+      inc_level_bins_(0.0, 1.0, config.incremental_energy_bins) {
+    IMX_EXPECTS(num_exits >= 1);
+}
+
+std::size_t QLearningExitPolicy::exit_state(const sim::EnergyState& s) const {
+    const std::size_t level_bin =
+        level_bins_.bin(s.level_mj / std::max(s.capacity_mj, 1e-9));
+    const std::size_t rate_bin = rate_bins_.bin(s.charge_rate_mw);
+    return level_bin * config_.rate_bins + rate_bin;
+}
+
+std::size_t QLearningExitPolicy::incremental_state(const sim::EnergyState& s,
+                                                   double confidence) const {
+    const std::size_t conf_bin = conf_bins_.bin(confidence);
+    const std::size_t level_bin =
+        inc_level_bins_.bin(s.level_mj / std::max(s.capacity_mj, 1e-9));
+    return conf_bin * config_.incremental_energy_bins + level_bin;
+}
+
+int QLearningExitPolicy::select_exit(const sim::EnergyState& state,
+                                     const sim::InferenceModel& model) {
+    (void)model;
+    const std::size_t s = exit_state(state);
+
+    // Chain the previous event's transition now that s' is known (Eq. 16).
+    if (pending_.has_value() && !eval_mode_) {
+        exit_q_.update(pending_->state, pending_->action, pending_->reward, s);
+    }
+
+    const std::size_t action = eval_mode_ ? exit_q_.greedy(s) : exit_q_.select(s);
+    pending_ = Pending{s, action, 0.0};
+    pending_incremental_.clear();
+    return static_cast<int>(action);
+}
+
+bool QLearningExitPolicy::continue_inference(const sim::EnergyState& state,
+                                             const sim::InferenceModel& model,
+                                             int current_exit,
+                                             double confidence) {
+    if (!config_.enable_incremental) return false;
+    if (current_exit + 1 >= num_exits_) return false;
+    const std::int64_t inc =
+        model.incremental_macs(current_exit, current_exit + 1);
+    const double cost = sim::macs_energy_mj(state, inc);
+    if (cost + config_.incremental_headroom * state.capacity_mj >
+        state.level_mj) {
+        return false;  // not affordable with headroom; no learning signal
+    }
+    const std::size_t s = incremental_state(state, confidence);
+    const std::size_t action =
+        eval_mode_ ? incremental_q_.greedy(s) : incremental_q_.select(s);
+    if (!eval_mode_) pending_incremental_.push_back({s, action});
+    return action == 1;
+}
+
+void QLearningExitPolicy::observe(const sim::EnergyState& /*state*/,
+                                  int /*exit_taken*/, bool correct) {
+    const double r = correct ? 1.0 : 0.0;
+    if (pending_.has_value()) {
+        // Stash; the bootstrap happens at the next select_exit call when the
+        // successor state is known.
+        pending_->reward += r;
+    }
+    if (!eval_mode_) {
+        for (const PendingIncremental& pi : pending_incremental_) {
+            const double r2 =
+                r - (pi.action == 1 ? config_.continue_cost_penalty : 0.0);
+            incremental_q_.update_terminal(pi.state, pi.action, r2);
+        }
+    }
+    pending_incremental_.clear();
+}
+
+void QLearningExitPolicy::observe_missed() {
+    if (pending_.has_value() && !eval_mode_) {
+        pending_->reward -= config_.miss_penalty;
+    }
+}
+
+void QLearningExitPolicy::set_eval_mode(bool eval) { eval_mode_ = eval; }
+
+std::size_t QLearningExitPolicy::footprint_bytes() const {
+    return exit_q_.footprint_bytes() + incremental_q_.footprint_bytes();
+}
+
+}  // namespace imx::core

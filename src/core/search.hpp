@@ -1,0 +1,107 @@
+// Power-trace-aware, exit-guided nonuniform compression search
+// (paper Sec. III-B): two cooperating DDPG agents emit per-layer pruning
+// rates and weight/activation bitwidths; the reward is the event-weighted
+// average accuracy under the EH trace (Eq. 10) with constraint penalties
+// (Eq. 11-12). Random search and simulated annealing comparators share the
+// same evaluation budget for the ablation bench.
+#ifndef IMX_CORE_SEARCH_HPP
+#define IMX_CORE_SEARCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/fit.hpp"
+#include "compress/network_desc.hpp"
+#include "core/accuracy_model.hpp"
+#include "core/trace_eval.hpp"
+#include "rl/ddpg.hpp"
+
+namespace imx::core {
+
+struct SearchConfig {
+    int episodes = 300;
+    int warmup_episodes = 32;     ///< random-action episodes to fill replay
+    int train_steps_per_episode = 12;
+    double lambda1 = 1.0;         ///< pruning-agent reward scale (Eq. 11)
+    double lambda2 = 1.0;         ///< quantization-agent reward scale (Eq. 12)
+    /// Power-trace-aware reward (Eq. 10). When false, the reward is the
+    /// plain mean of exit accuracies (the ablation of Sec. III's premise).
+    bool trace_aware = true;
+    std::uint64_t seed = 2020;
+};
+
+struct SearchResult {
+    compress::Policy best_policy;
+    double best_reward = -1.0;            ///< Racc in [0,1] of best feasible
+    bool found_feasible = false;
+    std::vector<double> episode_reward;   ///< per-episode Racc (or penalty)
+    int evaluations = 0;
+};
+
+/// Evaluation context shared by all search algorithms.
+class PolicyEvaluator {
+public:
+    PolicyEvaluator(const compress::NetworkDesc& desc,
+                    const AccuracyModel& accuracy,
+                    const StaticTraceEvaluator& trace_eval,
+                    const compress::Constraints& constraints, bool trace_aware);
+
+    struct Score {
+        double racc = 0.0;  ///< objective in [0,1]
+        bool flops_ok = false;
+        bool size_ok = false;
+        double total_macs = 0.0;
+        double bytes = 0.0;
+        [[nodiscard]] bool feasible() const { return flops_ok && size_ok; }
+    };
+
+    [[nodiscard]] Score score(const compress::Policy& policy) const;
+    [[nodiscard]] const compress::NetworkDesc& network() const { return *desc_; }
+    [[nodiscard]] const compress::Constraints& constraints() const {
+        return constraints_;
+    }
+
+private:
+    const compress::NetworkDesc* desc_;
+    const AccuracyModel* accuracy_;
+    const StaticTraceEvaluator* trace_eval_;
+    compress::Constraints constraints_;
+    bool trace_aware_;
+};
+
+class CompressionSearch {
+public:
+    CompressionSearch(const PolicyEvaluator& evaluator, SearchConfig config);
+
+    /// The paper's method: two DDPG agents, layer-by-layer episodes.
+    SearchResult run_ddpg();
+
+    /// DDPG exploration followed by local refinement of the best policy
+    /// (the paper's "the compression policy needs further fine-tuning",
+    /// Sec. III). Uses 1.5x the run_ddpg() evaluation budget.
+    SearchResult run_ddpg_refined();
+
+    /// Uniform-random policies, same evaluation budget.
+    SearchResult run_random();
+
+    /// Simulated annealing from the uniform-fit start, same budget.
+    SearchResult run_annealing();
+
+private:
+    /// Eq. 9 observation for layer l given the previous layer's decisions.
+    [[nodiscard]] std::vector<float> observation(
+        int layer, const compress::Policy& partial,
+        double flop_reduced, double size_reduced) const;
+
+    /// Annealed local search from a starting policy.
+    SearchResult anneal_from(const compress::Policy& start, int episodes,
+                             double initial_temperature,
+                             std::uint64_t seed) const;
+
+    const PolicyEvaluator* evaluator_;
+    SearchConfig config_;
+};
+
+}  // namespace imx::core
+
+#endif  // IMX_CORE_SEARCH_HPP

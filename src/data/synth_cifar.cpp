@@ -1,0 +1,131 @@
+#include "data/synth_cifar.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace imx::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Class-dependent base color in RGB ([0,1] each); 10 well-separated hues.
+void class_color(int label, double& r, double& g, double& b) {
+    const double hue = static_cast<double>(label) / 10.0 * 2.0 * kPi;
+    r = 0.5 + 0.35 * std::cos(hue);
+    g = 0.5 + 0.35 * std::cos(hue - 2.0 * kPi / 3.0);
+    b = 0.5 + 0.35 * std::cos(hue + 2.0 * kPi / 3.0);
+}
+
+/// Fine cue: oriented sinusoidal texture; frequency/orientation per class.
+double class_texture(int label, int y, int x) {
+    const double freq = 0.25 + 0.09 * static_cast<double>(label % 5);
+    const double theta = kPi * static_cast<double>(label % 4) / 4.0;
+    const double u = std::cos(theta) * y + std::sin(theta) * x;
+    return std::sin(freq * u);
+}
+
+/// Shape cue: class-dependent mask (disk / ring / bar / checker rotation).
+double class_shape(int label, int y, int x, int h, int w) {
+    const double cy = (y - h / 2.0) / (h / 2.0);
+    const double cx = (x - w / 2.0) / (w / 2.0);
+    const double rad = std::sqrt(cy * cy + cx * cx);
+    switch (label % 4) {
+        case 0: return rad < 0.55 ? 1.0 : 0.0;                   // disk
+        case 1: return (rad > 0.35 && rad < 0.7) ? 1.0 : 0.0;    // ring
+        case 2: return std::fabs(cx) < 0.3 ? 1.0 : 0.0;          // bar
+        default: return ((y / 8 + x / 8) % 2 == 0) ? 1.0 : 0.0;  // checker
+    }
+}
+
+}  // namespace
+
+Dataset make_synth_cifar(const SynthCifarConfig& config) {
+    IMX_EXPECTS(config.num_samples >= 0);
+    IMX_EXPECTS(config.num_classes >= 2 && config.num_classes <= 10);
+    IMX_EXPECTS(config.height > 0 && config.width > 0);
+    IMX_EXPECTS(config.noise_level >= 0.0);
+
+    Dataset ds;
+    ds.num_classes = config.num_classes;
+    ds.images.reserve(static_cast<std::size_t>(config.num_samples));
+    ds.labels.reserve(static_cast<std::size_t>(config.num_samples));
+
+    util::Rng rng(config.seed);
+    for (int i = 0; i < config.num_samples; ++i) {
+        const int label = static_cast<int>(
+            rng.uniform_int(0, config.num_classes - 1));
+        double base_r = 0.0;
+        double base_g = 0.0;
+        double base_b = 0.0;
+        class_color(label, base_r, base_g, base_b);
+
+        // Per-sample nuisance variation: global brightness and phase jitter.
+        const double brightness = rng.uniform(0.85, 1.15);
+        const int shift_y = static_cast<int>(rng.uniform_int(-3, 3));
+        const int shift_x = static_cast<int>(rng.uniform_int(-3, 3));
+
+        nn::Tensor img({3, config.height, config.width});
+        for (int y = 0; y < config.height; ++y) {
+            for (int x = 0; x < config.width; ++x) {
+                const int sy = y + shift_y;
+                const int sx = x + shift_x;
+                const double tex =
+                    class_texture(label, sy, sx) * 0.22 * config.cue_strength;
+                const double shp =
+                    class_shape(label, sy, sx, config.height, config.width) *
+                    0.28 * config.cue_strength;
+                const double channel_base[3] = {base_r, base_g, base_b};
+                for (int c = 0; c < 3; ++c) {
+                    double v = channel_base[c] * brightness;
+                    v += tex * (c == label % 3 ? 1.0 : 0.45);
+                    v += shp * (c == (label + 1) % 3 ? 1.0 : 0.35);
+                    v += rng.normal(0.0, config.noise_level);
+                    img.at(c, y, x) =
+                        static_cast<float>(util::clamp(v, 0.0, 1.0));
+                }
+            }
+        }
+        ds.images.push_back(std::move(img));
+        ds.labels.push_back(label);
+    }
+    return ds;
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& dataset, double test_fraction,
+                                  std::uint64_t seed) {
+    IMX_EXPECTS(test_fraction >= 0.0 && test_fraction <= 1.0);
+    std::vector<std::size_t> order(dataset.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    util::Rng rng(seed);
+    rng.shuffle(order);
+
+    const auto test_count =
+        static_cast<std::size_t>(test_fraction * static_cast<double>(dataset.size()));
+    Dataset train;
+    Dataset test;
+    train.num_classes = dataset.num_classes;
+    test.num_classes = dataset.num_classes;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        Dataset& target = i < test_count ? test : train;
+        target.images.push_back(dataset.images[order[i]]);
+        target.labels.push_back(dataset.labels[order[i]]);
+    }
+    return {std::move(train), std::move(test)};
+}
+
+void inject_label_noise(Dataset& dataset, double p, std::uint64_t seed) {
+    IMX_EXPECTS(p >= 0.0 && p <= 1.0);
+    util::Rng rng(seed);
+    for (int& label : dataset.labels) {
+        if (rng.bernoulli(p)) {
+            int wrong = static_cast<int>(rng.uniform_int(0, dataset.num_classes - 2));
+            if (wrong >= label) ++wrong;
+            label = wrong;
+        }
+    }
+}
+
+}  // namespace imx::data

@@ -1,0 +1,61 @@
+#include "energy/solar.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace imx::energy {
+
+PowerTrace make_solar_trace(const SolarConfig& config) {
+    IMX_EXPECTS(config.days > 0.0);
+    IMX_EXPECTS(config.dt_s > 0.0);
+    IMX_EXPECTS(config.peak_power_mw > 0.0);
+    IMX_EXPECTS(config.sunrise_hour < config.sunset_hour);
+    IMX_EXPECTS(config.time_compression >= 1.0);
+    IMX_EXPECTS(config.cloud_floor >= 0.0 && config.cloud_floor <= 1.0);
+
+    IMX_EXPECTS(config.window_start_hour >= 0.0 &&
+                config.window_end_hour <= 24.0 &&
+                config.window_start_hour < config.window_end_hour);
+    const double window_s =
+        (config.window_end_hour - config.window_start_hour) * 3600.0;
+    const double duration_s = config.days * window_s / config.time_compression;
+    const auto n = static_cast<std::size_t>(std::ceil(duration_s / config.dt_s));
+    IMX_EXPECTS(n > 0);
+
+    util::Rng rng(config.seed);
+    std::vector<double> samples(n, 0.0);
+
+    double cloud = 1.0;  // attenuation state, reverts toward 1 (clear)
+    const double sunrise_s = config.sunrise_hour * 3600.0;
+    const double sunset_s = config.sunset_hour * 3600.0;
+    const double daylight_s = sunset_s - sunrise_s;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // Wall-clock position within the (possibly compressed) window.
+        const double t_wall =
+            config.window_start_hour * 3600.0 +
+            std::fmod(static_cast<double>(i) * config.dt_s * config.time_compression,
+                      window_s);
+
+        // OU step (Euler-Maruyama) toward clear sky.
+        const double dt_eff = config.dt_s * config.time_compression;
+        cloud += config.cloud_theta * (1.0 - cloud) * dt_eff +
+                 config.cloud_sigma * std::sqrt(dt_eff) * rng.normal();
+        cloud = util::clamp(cloud, config.cloud_floor, 1.0);
+
+        if (t_wall < sunrise_s || t_wall >= sunset_s) continue;  // night
+
+        const double phase = (t_wall - sunrise_s) / daylight_s;  // 0..1
+        const double envelope =
+            std::pow(std::sin(phase * 3.14159265358979323846),
+                     config.envelope_exponent);
+        samples[i] = config.peak_power_mw * envelope * cloud;
+    }
+    return PowerTrace(config.dt_s, std::move(samples));
+}
+
+}  // namespace imx::energy

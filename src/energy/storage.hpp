@@ -1,0 +1,68 @@
+// Capacitor-style energy buffer of an intermittently powered device.
+//
+// Models the essentials the paper's runtime depends on: finite capacity,
+// charge inefficiency that worsens at low input power (the "charging
+// efficiency" component of the Q-learning state, Sec. IV), leakage, and the
+// turn-on/turn-off thresholds that define a power cycle.
+#ifndef IMX_ENERGY_STORAGE_HPP
+#define IMX_ENERGY_STORAGE_HPP
+
+#include "util/contracts.hpp"
+
+namespace imx::energy {
+
+struct StorageConfig {
+    double capacity_mj = 10.0;      ///< usable energy at full charge
+    double initial_mj = 0.0;
+    double leakage_mw = 0.001;      ///< constant self-discharge
+    /// Charging efficiency rises with input power and saturates:
+    /// eff(p) = eff_max * p / (p + half_power). Boost converters on real
+    /// harvesters behave this way (poor efficiency in dim light).
+    double efficiency_max = 0.85;
+    double efficiency_half_power_mw = 0.15;
+    /// Intermittent-computing thresholds: execution may start only above
+    /// on_threshold and dies below off_threshold.
+    double on_threshold_mj = 0.5;
+    double off_threshold_mj = 0.05;
+};
+
+class EnergyStorage {
+public:
+    explicit EnergyStorage(const StorageConfig& config);
+
+    /// Integrate harvesting at constant input power for dt seconds.
+    /// Returns the energy actually stored (after efficiency and capping).
+    double harvest(double power_mw, double dt_s);
+
+    /// Charging efficiency at the given input power.
+    [[nodiscard]] double efficiency_at(double power_mw) const;
+
+    /// Attempt to withdraw amount_mj; returns false (and withdraws nothing)
+    /// if the level is insufficient.
+    [[nodiscard]] bool try_consume(double amount_mj);
+
+    /// Withdraw unconditionally (level clamps at 0); models a brown-out
+    /// where in-progress computation is lost.
+    void drain(double amount_mj);
+
+    [[nodiscard]] double level() const { return level_mj_; }
+    [[nodiscard]] double capacity() const { return config_.capacity_mj; }
+    [[nodiscard]] double headroom() const { return config_.capacity_mj - level_mj_; }
+    [[nodiscard]] bool can_turn_on() const {
+        return level_mj_ >= config_.on_threshold_mj;
+    }
+    [[nodiscard]] bool must_turn_off() const {
+        return level_mj_ <= config_.off_threshold_mj;
+    }
+    [[nodiscard]] const StorageConfig& config() const { return config_; }
+
+    void reset(double level_mj);
+
+private:
+    StorageConfig config_;
+    double level_mj_;
+};
+
+}  // namespace imx::energy
+
+#endif  // IMX_ENERGY_STORAGE_HPP

@@ -1,0 +1,187 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imx::nn {
+
+namespace {
+
+void check_keep_list(const std::vector<int>& keep, int limit) {
+    IMX_EXPECTS(!keep.empty());
+    IMX_EXPECTS(std::is_sorted(keep.begin(), keep.end()));
+    IMX_EXPECTS(std::adjacent_find(keep.begin(), keep.end()) == keep.end());
+    IMX_EXPECTS(keep.front() >= 0 && keep.back() < limit);
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int padding,
+               std::string name, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      name_(std::move(name)) {
+    IMX_EXPECTS(in_channels > 0 && out_channels > 0);
+    IMX_EXPECTS(kernel > 0 && padding >= 0);
+    const int fan_in = in_channels * kernel * kernel;
+    weight_ = Tensor::kaiming_uniform({out_channels, in_channels, kernel, kernel},
+                                      fan_in, rng);
+    bias_ = Tensor::zeros({out_channels});
+    grad_weight_ = Tensor::zeros(weight_.shape());
+    grad_bias_ = Tensor::zeros(bias_.shape());
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+    IMX_EXPECTS(input_shape.size() == 3);
+    IMX_EXPECTS(input_shape[0] == in_channels_);
+    const int oh = input_shape[1] + 2 * padding_ - kernel_ + 1;
+    const int ow = input_shape[2] + 2 * padding_ - kernel_ + 1;
+    IMX_EXPECTS(oh > 0 && ow > 0);
+    return {out_channels_, oh, ow};
+}
+
+std::int64_t Conv2d::macs(const Shape& input_shape) const {
+    const Shape out = output_shape(input_shape);
+    return static_cast<std::int64_t>(out[0]) * out[1] * out[2] * in_channels_ *
+           kernel_ * kernel_;
+}
+
+std::int64_t Conv2d::param_count() const {
+    return weight_.numel() + bias_.numel();
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+    cached_input_ = input;
+    const Shape out_shape = output_shape(input.shape());
+    Tensor out(out_shape);
+    const int h = input.dim(1);
+    const int w = input.dim(2);
+    const int oh = out_shape[1];
+    const int ow = out_shape[2];
+    for (int oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_[oc];
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float acc = b;
+                for (int ic = 0; ic < in_channels_; ++ic) {
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        const int iy = oy + ky - padding_;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            const int ix = ox + kx - padding_;
+                            if (ix < 0 || ix >= w) continue;
+                            acc += weight_.at(oc, ic, ky, kx) * input.at(ic, iy, ix);
+                        }
+                    }
+                }
+                out.at(oc, oy, ox) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    IMX_EXPECTS(!cached_input_.empty());
+    const Tensor& input = cached_input_;
+    const int h = input.dim(1);
+    const int w = input.dim(2);
+    const int oh = grad_output.dim(1);
+    const int ow = grad_output.dim(2);
+    IMX_EXPECTS(grad_output.dim(0) == out_channels_);
+
+    Tensor grad_input(input.shape());
+    for (int oc = 0; oc < out_channels_; ++oc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const float go = grad_output.at(oc, oy, ox);
+                if (go == 0.0F) continue;
+                grad_bias_[oc] += go;
+                for (int ic = 0; ic < in_channels_; ++ic) {
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        const int iy = oy + ky - padding_;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            const int ix = ox + kx - padding_;
+                            if (ix < 0 || ix >= w) continue;
+                            grad_weight_.at(oc, ic, ky, kx) += go * input.at(ic, iy, ix);
+                            grad_input.at(ic, iy, ix) += go * weight_.at(oc, ic, ky, kx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+LayerPtr Conv2d::clone() const {
+    util::Rng dummy(0);
+    auto copy = std::make_unique<Conv2d>(in_channels_, out_channels_, kernel_,
+                                         padding_, name_, dummy);
+    copy->weight_ = weight_;
+    copy->bias_ = bias_;
+    copy->grad_weight_ = grad_weight_;
+    copy->grad_bias_ = grad_bias_;
+    return copy;
+}
+
+std::vector<double> Conv2d::input_channel_importance() const {
+    std::vector<double> importance(static_cast<std::size_t>(in_channels_), 0.0);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+        for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+                for (int kx = 0; kx < kernel_; ++kx) {
+                    importance[static_cast<std::size_t>(ic)] +=
+                        std::fabs(static_cast<double>(weight_.at(oc, ic, ky, kx)));
+                }
+            }
+        }
+    }
+    return importance;
+}
+
+void Conv2d::prune_input_channels(const std::vector<int>& keep) {
+    check_keep_list(keep, in_channels_);
+    const int new_in = static_cast<int>(keep.size());
+    Tensor new_weight({out_channels_, new_in, kernel_, kernel_});
+    for (int oc = 0; oc < out_channels_; ++oc) {
+        for (int j = 0; j < new_in; ++j) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+                for (int kx = 0; kx < kernel_; ++kx) {
+                    new_weight.at(oc, j, ky, kx) = weight_.at(oc, keep[static_cast<std::size_t>(j)], ky, kx);
+                }
+            }
+        }
+    }
+    weight_ = std::move(new_weight);
+    grad_weight_ = Tensor::zeros(weight_.shape());
+    in_channels_ = new_in;
+}
+
+void Conv2d::prune_output_channels(const std::vector<int>& keep) {
+    check_keep_list(keep, out_channels_);
+    const int new_out = static_cast<int>(keep.size());
+    Tensor new_weight({new_out, in_channels_, kernel_, kernel_});
+    Tensor new_bias({new_out});
+    for (int i = 0; i < new_out; ++i) {
+        const int src = keep[static_cast<std::size_t>(i)];
+        new_bias[i] = bias_[src];
+        for (int ic = 0; ic < in_channels_; ++ic) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+                for (int kx = 0; kx < kernel_; ++kx) {
+                    new_weight.at(i, ic, ky, kx) = weight_.at(src, ic, ky, kx);
+                }
+            }
+        }
+    }
+    weight_ = std::move(new_weight);
+    bias_ = std::move(new_bias);
+    grad_weight_ = Tensor::zeros(weight_.shape());
+    grad_bias_ = Tensor::zeros(bias_.shape());
+    out_channels_ = new_out;
+}
+
+}  // namespace imx::nn

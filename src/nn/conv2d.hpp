@@ -1,0 +1,63 @@
+// Direct 2-D convolution (stride 1, square kernel, zero padding) with full
+// backward pass and channel-surgery hooks used by the pruning module.
+#ifndef IMX_NN_CONV2D_HPP
+#define IMX_NN_CONV2D_HPP
+
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace imx::nn {
+
+class Conv2d final : public Layer {
+public:
+    /// Weights are Kaiming-initialized from rng; bias starts at zero.
+    Conv2d(int in_channels, int out_channels, int kernel, int padding,
+           std::string name, util::Rng& rng);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+    [[nodiscard]] std::int64_t macs(const Shape& input_shape) const override;
+    [[nodiscard]] std::int64_t param_count() const override;
+    std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+    std::vector<Tensor*> gradients() override { return {&grad_weight_, &grad_bias_}; }
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] LayerPtr clone() const override;
+
+    [[nodiscard]] int in_channels() const { return in_channels_; }
+    [[nodiscard]] int out_channels() const { return out_channels_; }
+    [[nodiscard]] int kernel() const { return kernel_; }
+    [[nodiscard]] int padding() const { return padding_; }
+
+    [[nodiscard]] Tensor& weight() { return weight_; }
+    [[nodiscard]] const Tensor& weight() const { return weight_; }
+    [[nodiscard]] Tensor& bias() { return bias_; }
+    [[nodiscard]] const Tensor& bias() const { return bias_; }
+
+    /// L1 importance of each input channel: s_j = sum_i |W_{i,j}| (paper Eq. 2).
+    [[nodiscard]] std::vector<double> input_channel_importance() const;
+
+    /// Keep only the listed input channels (sorted ascending, unique).
+    void prune_input_channels(const std::vector<int>& keep);
+
+    /// Keep only the listed output channels (sorted ascending, unique).
+    void prune_output_channels(const std::vector<int>& keep);
+
+private:
+    int in_channels_;
+    int out_channels_;
+    int kernel_;
+    int padding_;
+    std::string name_;
+    Tensor weight_;       // [out, in, k, k]
+    Tensor bias_;         // [out]
+    Tensor grad_weight_;
+    Tensor grad_bias_;
+    Tensor cached_input_; // for backward
+};
+
+}  // namespace imx::nn
+
+#endif  // IMX_NN_CONV2D_HPP

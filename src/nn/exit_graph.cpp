@@ -1,0 +1,216 @@
+#include "nn/exit_graph.hpp"
+
+#include <algorithm>
+
+namespace imx::nn {
+
+Tensor Segment::forward(const Tensor& input) {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x);
+    return x;
+}
+
+Tensor Segment::backward(const Tensor& grad_output) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+Shape Segment::output_shape(Shape input_shape) const {
+    for (const auto& layer : layers_) input_shape = layer->output_shape(input_shape);
+    return input_shape;
+}
+
+std::int64_t Segment::macs(Shape input_shape) const {
+    std::int64_t total = 0;
+    for (const auto& layer : layers_) {
+        total += layer->macs(input_shape);
+        input_shape = layer->output_shape(input_shape);
+    }
+    return total;
+}
+
+std::int64_t Segment::param_count() const {
+    std::int64_t total = 0;
+    for (const auto& layer : layers_) total += layer->param_count();
+    return total;
+}
+
+std::vector<Tensor*> Segment::parameters() {
+    std::vector<Tensor*> out;
+    for (auto& layer : layers_) {
+        for (Tensor* p : layer->parameters()) out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Tensor*> Segment::gradients() {
+    std::vector<Tensor*> out;
+    for (auto& layer : layers_) {
+        for (Tensor* g : layer->gradients()) out.push_back(g);
+    }
+    return out;
+}
+
+Segment Segment::clone() const {
+    Segment copy;
+    for (const auto& layer : layers_) copy.push(layer->clone());
+    return copy;
+}
+
+ExitRun::ExitRun(ExitGraph& graph, Tensor input)
+    : graph_(&graph), trunk_activation_(std::move(input)) {
+    IMX_EXPECTS(graph.num_exits() > 0);
+}
+
+Tensor ExitRun::advance_to(int exit_index) {
+    IMX_EXPECTS(exit_index > last_exit_);
+    IMX_EXPECTS(exit_index < graph_->num_exits());
+    while (trunk_position_ <= exit_index) {
+        trunk_activation_ =
+            graph_->trunk_[static_cast<std::size_t>(trunk_position_)].forward(
+                trunk_activation_);
+        ++trunk_position_;
+    }
+    last_exit_ = exit_index;
+    return graph_->branches_[static_cast<std::size_t>(exit_index)].forward(
+        trunk_activation_);
+}
+
+std::int64_t ExitRun::incremental_macs(int exit_index) const {
+    IMX_EXPECTS(exit_index > last_exit_ && exit_index < graph_->num_exits());
+    Shape shape = trunk_position_ == 0
+                      ? graph_->input_shape_
+                      : graph_->trunk_input_shape(trunk_position_);
+    std::int64_t total = 0;
+    Shape cursor = shape;
+    for (int s = trunk_position_; s <= exit_index; ++s) {
+        total += graph_->trunk_[static_cast<std::size_t>(s)].macs(cursor);
+        cursor = graph_->trunk_[static_cast<std::size_t>(s)].output_shape(cursor);
+    }
+    total += graph_->branches_[static_cast<std::size_t>(exit_index)].macs(cursor);
+    return total;
+}
+
+void ExitGraph::add_exit(Segment trunk_segment, Segment branch) {
+    trunk_.push_back(std::move(trunk_segment));
+    branches_.push_back(std::move(branch));
+}
+
+Tensor ExitGraph::forward_to_exit(const Tensor& input, int exit_index) {
+    ExitRun run = begin(input);
+    return run.advance_to(exit_index);
+}
+
+std::vector<Tensor> ExitGraph::forward_all(const Tensor& input) {
+    IMX_EXPECTS(num_exits() > 0);
+    std::vector<Tensor> logits;
+    logits.reserve(branches_.size());
+    cached_segment_outputs_.clear();
+    Tensor x = input;
+    for (std::size_t i = 0; i < trunk_.size(); ++i) {
+        x = trunk_[i].forward(x);
+        cached_segment_outputs_.push_back(x);
+        logits.push_back(branches_[i].forward(x));
+    }
+    return logits;
+}
+
+void ExitGraph::backward_all(const std::vector<Tensor>& grad_logits,
+                             const std::vector<double>& exit_weights) {
+    IMX_EXPECTS(grad_logits.size() == branches_.size());
+    IMX_EXPECTS(exit_weights.size() == branches_.size());
+    IMX_EXPECTS(cached_segment_outputs_.size() == trunk_.size());
+
+    // Branch backwards first; collect gradient w.r.t. each segment output.
+    std::vector<Tensor> seg_grads(trunk_.size());
+    for (std::size_t i = 0; i < branches_.size(); ++i) {
+        Tensor g = grad_logits[i];
+        g.scale(static_cast<float>(exit_weights[i]));
+        seg_grads[i] = branches_[i].backward(g);
+    }
+    // Trunk backward from the deepest segment, accumulating branch grads.
+    Tensor downstream;  // grad flowing from segment i+1 into segment i output
+    for (std::size_t i = trunk_.size(); i-- > 0;) {
+        Tensor total = seg_grads[i];
+        if (!downstream.empty()) total.add_scaled(downstream, 1.0F);
+        downstream = trunk_[i].backward(total);
+    }
+}
+
+std::int64_t ExitGraph::exit_macs(int exit_index) const {
+    IMX_EXPECTS(exit_index >= 0 && exit_index < num_exits());
+    Shape cursor = input_shape_;
+    std::int64_t total = 0;
+    for (int s = 0; s <= exit_index; ++s) {
+        total += trunk_[static_cast<std::size_t>(s)].macs(cursor);
+        cursor = trunk_[static_cast<std::size_t>(s)].output_shape(cursor);
+    }
+    total += branches_[static_cast<std::size_t>(exit_index)].macs(cursor);
+    return total;
+}
+
+std::int64_t ExitGraph::total_macs() const {
+    Shape cursor = input_shape_;
+    std::int64_t total = 0;
+    for (std::size_t s = 0; s < trunk_.size(); ++s) {
+        total += trunk_[s].macs(cursor);
+        cursor = trunk_[s].output_shape(cursor);
+        total += branches_[s].macs(cursor);
+    }
+    return total;
+}
+
+std::int64_t ExitGraph::param_count() const {
+    std::int64_t total = 0;
+    for (const auto& s : trunk_) total += s.param_count();
+    for (const auto& b : branches_) total += b.param_count();
+    return total;
+}
+
+std::vector<Tensor*> ExitGraph::parameters() {
+    std::vector<Tensor*> out;
+    for (auto& s : trunk_) {
+        for (Tensor* p : s.parameters()) out.push_back(p);
+    }
+    for (auto& b : branches_) {
+        for (Tensor* p : b.parameters()) out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Tensor*> ExitGraph::gradients() {
+    std::vector<Tensor*> out;
+    for (auto& s : trunk_) {
+        for (Tensor* g : s.gradients()) out.push_back(g);
+    }
+    for (auto& b : branches_) {
+        for (Tensor* g : b.gradients()) out.push_back(g);
+    }
+    return out;
+}
+
+void ExitGraph::zero_grad() {
+    for (Tensor* g : gradients()) g->fill(0.0F);
+}
+
+Shape ExitGraph::trunk_input_shape(int i) const {
+    IMX_EXPECTS(i >= 0 && i <= num_exits());
+    Shape cursor = input_shape_;
+    for (int s = 0; s < i; ++s) {
+        cursor = trunk_[static_cast<std::size_t>(s)].output_shape(cursor);
+    }
+    return cursor;
+}
+
+ExitGraph ExitGraph::clone() const {
+    ExitGraph copy(input_shape_);
+    for (std::size_t i = 0; i < trunk_.size(); ++i) {
+        copy.add_exit(trunk_[i].clone(), branches_[i].clone());
+    }
+    return copy;
+}
+
+}  // namespace imx::nn

@@ -1,0 +1,140 @@
+// Multi-exit network graph (BranchyNet-style, paper Fig. 1c).
+//
+// Topology: a trunk split into m segments; exit i consumes trunk segments
+// 0..i and then runs its own branch (classifier head). The last exit's branch
+// is the final classifier. This representation makes the paper's
+// *incremental inference* a first-class operation: ExitRun keeps the trunk
+// activation alive so that, after emitting a result at exit i, the network
+// can resume from segment i+1 without recomputing the shared prefix.
+#ifndef IMX_NN_EXIT_GRAPH_HPP
+#define IMX_NN_EXIT_GRAPH_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace imx::nn {
+
+/// An ordered stack of layers executed sequentially.
+class Segment {
+public:
+    Segment() = default;
+    void push(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+    Tensor forward(const Tensor& input);
+    Tensor backward(const Tensor& grad_output);
+
+    [[nodiscard]] Shape output_shape(Shape input_shape) const;
+    [[nodiscard]] std::int64_t macs(Shape input_shape) const;
+    [[nodiscard]] std::int64_t param_count() const;
+
+    [[nodiscard]] std::size_t size() const { return layers_.size(); }
+    [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+    [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+    std::vector<Tensor*> parameters();
+    std::vector<Tensor*> gradients();
+
+    [[nodiscard]] Segment clone() const;
+
+private:
+    std::vector<LayerPtr> layers_;
+};
+
+class ExitGraph;
+
+/// A resumable forward pass: advances exit by exit, caching trunk state.
+/// This is the software analogue of the paper's incremental inference —
+/// "proceed to the following exit" (Sec. II) costs only the *additional*
+/// trunk segments plus the next branch.
+class ExitRun {
+public:
+    ExitRun(ExitGraph& graph, Tensor input);
+
+    /// Run up to and including exit `exit_index`; returns logits at that exit.
+    /// Must be called with non-decreasing exit indices.
+    Tensor advance_to(int exit_index);
+
+    /// MACs that advance_to(exit_index) would execute from the current
+    /// position (the incremental cost).
+    [[nodiscard]] std::int64_t incremental_macs(int exit_index) const;
+
+    [[nodiscard]] int last_exit() const { return last_exit_; }
+
+private:
+    ExitGraph* graph_;
+    Tensor trunk_activation_;
+    int trunk_position_ = 0;  // trunk segments already executed
+    int last_exit_ = -1;
+};
+
+/// Multi-exit network: trunk segments + one branch per exit.
+class ExitGraph {
+public:
+    /// input_shape is the (C,H,W) sample shape the network expects.
+    explicit ExitGraph(Shape input_shape) : input_shape_(std::move(input_shape)) {}
+
+    /// Append a trunk segment and its exit branch. Exit i's branch consumes
+    /// the output of trunk segments 0..i.
+    void add_exit(Segment trunk_segment, Segment branch);
+
+    [[nodiscard]] int num_exits() const { return static_cast<int>(branches_.size()); }
+    [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
+
+    /// One-shot forward to a specific exit.
+    Tensor forward_to_exit(const Tensor& input, int exit_index);
+
+    /// Begin a resumable (incremental) inference.
+    [[nodiscard]] ExitRun begin(Tensor input) { return ExitRun(*this, std::move(input)); }
+
+    /// Forward through all exits (training path); returns logits per exit.
+    std::vector<Tensor> forward_all(const Tensor& input);
+
+    /// Backward for forward_all: per-exit loss gradients, weighted; trunk
+    /// gradients accumulate across branches (joint multi-exit training).
+    void backward_all(const std::vector<Tensor>& grad_logits,
+                      const std::vector<double>& exit_weights);
+
+    /// MACs to reach exit `exit_index` from scratch.
+    [[nodiscard]] std::int64_t exit_macs(int exit_index) const;
+
+    /// MACs of every layer executed once (trunk + every branch): the
+    /// "Fmodel" of paper Eq. 8.
+    [[nodiscard]] std::int64_t total_macs() const;
+
+    [[nodiscard]] std::int64_t param_count() const;
+
+    std::vector<Tensor*> parameters();
+    std::vector<Tensor*> gradients();
+    void zero_grad();
+
+    [[nodiscard]] Segment& trunk_segment(int i) { return trunk_.at(static_cast<std::size_t>(i)); }
+    [[nodiscard]] Segment& branch(int i) { return branches_.at(static_cast<std::size_t>(i)); }
+    [[nodiscard]] const Segment& trunk_segment(int i) const {
+        return trunk_.at(static_cast<std::size_t>(i));
+    }
+    [[nodiscard]] const Segment& branch(int i) const {
+        return branches_.at(static_cast<std::size_t>(i));
+    }
+
+    /// Shape entering trunk segment i (i == num_exits() means final output).
+    [[nodiscard]] Shape trunk_input_shape(int i) const;
+
+    [[nodiscard]] ExitGraph clone() const;
+
+private:
+    friend class ExitRun;
+
+    Shape input_shape_;
+    std::vector<Segment> trunk_;
+    std::vector<Segment> branches_;
+    // Cached per-segment outputs of the last forward_all (for backward_all).
+    std::vector<Tensor> cached_segment_outputs_;
+};
+
+}  // namespace imx::nn
+
+#endif  // IMX_NN_EXIT_GRAPH_HPP

@@ -1,0 +1,86 @@
+#include "rl/mlp.hpp"
+
+#include "util/contracts.hpp"
+
+namespace imx::rl {
+
+Mlp::Mlp(const std::vector<int>& dims, OutputActivation out_act,
+         util::Rng& rng) {
+    IMX_EXPECTS(dims.size() >= 2);
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+        layers_.push_back(std::make_unique<nn::Linear>(
+            dims[i], dims[i + 1], "fc" + std::to_string(i), rng));
+        if (i + 2 < dims.size()) {
+            layers_.push_back(std::make_unique<nn::Relu>());
+        }
+    }
+    switch (out_act) {
+        case OutputActivation::kNone: break;
+        case OutputActivation::kTanh:
+            layers_.push_back(std::make_unique<nn::Tanh>());
+            break;
+        case OutputActivation::kSigmoid:
+            layers_.push_back(std::make_unique<nn::Sigmoid>());
+            break;
+    }
+}
+
+nn::Tensor Mlp::forward(const nn::Tensor& input) {
+    nn::Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x);
+    return x;
+}
+
+nn::Tensor Mlp::backward(const nn::Tensor& grad_output) {
+    nn::Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+std::vector<nn::Tensor*> Mlp::parameters() {
+    std::vector<nn::Tensor*> out;
+    for (auto& layer : layers_) {
+        for (nn::Tensor* p : layer->parameters()) out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<nn::Tensor*> Mlp::gradients() {
+    std::vector<nn::Tensor*> out;
+    for (auto& layer : layers_) {
+        for (nn::Tensor* g : layer->gradients()) out.push_back(g);
+    }
+    return out;
+}
+
+void Mlp::zero_grad() {
+    for (nn::Tensor* g : gradients()) g->fill(0.0F);
+}
+
+void Mlp::copy_weights_from(Mlp& source) {
+    auto dst = parameters();
+    auto src = source.parameters();
+    IMX_EXPECTS(dst.size() == src.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        IMX_EXPECTS(dst[i]->numel() == src[i]->numel());
+        *dst[i] = *src[i];
+    }
+}
+
+void Mlp::soft_update_from(Mlp& source, float tau) {
+    IMX_EXPECTS(tau >= 0.0F && tau <= 1.0F);
+    auto dst = parameters();
+    auto src = source.parameters();
+    IMX_EXPECTS(dst.size() == src.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        nn::Tensor& d = *dst[i];
+        const nn::Tensor& s = *src[i];
+        for (std::int64_t j = 0; j < d.numel(); ++j) {
+            d[j] = tau * s[j] + (1.0F - tau) * d[j];
+        }
+    }
+}
+
+}  // namespace imx::rl

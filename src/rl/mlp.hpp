@@ -1,0 +1,42 @@
+// Small fully-connected network used by the DDPG actor and critic.
+#ifndef IMX_RL_MLP_HPP
+#define IMX_RL_MLP_HPP
+
+#include <vector>
+
+#include "nn/basic_layers.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "util/rng.hpp"
+
+namespace imx::rl {
+
+enum class OutputActivation { kNone, kTanh, kSigmoid };
+
+class Mlp {
+public:
+    /// dims = {in, hidden..., out}; hidden layers use ReLU.
+    Mlp(const std::vector<int>& dims, OutputActivation out_act, util::Rng& rng);
+
+    nn::Tensor forward(const nn::Tensor& input);
+    /// Returns gradient w.r.t. the input (the DDPG actor update needs
+    /// dQ/daction from the critic).
+    nn::Tensor backward(const nn::Tensor& grad_output);
+
+    std::vector<nn::Tensor*> parameters();
+    std::vector<nn::Tensor*> gradients();
+    void zero_grad();
+
+    /// Hard copy of another MLP's weights (target-network initialization).
+    void copy_weights_from(Mlp& source);
+
+    /// Polyak averaging: theta_target <- tau * theta + (1 - tau) * theta_target.
+    void soft_update_from(Mlp& source, float tau);
+
+private:
+    std::vector<nn::LayerPtr> layers_;
+};
+
+}  // namespace imx::rl
+
+#endif  // IMX_RL_MLP_HPP

@@ -1,0 +1,90 @@
+// Tabular Q-learning (Watkins & Dayan), paper Eq. 16 — the lightweight
+// runtime learner: "a lookup table with state-action pairs as the entries,
+// and the learning process is updating the LUT".
+#ifndef IMX_RL_QTABLE_HPP
+#define IMX_RL_QTABLE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace imx::rl {
+
+struct QLearningConfig {
+    double alpha = 0.2;     ///< learning rate
+    double gamma = 0.7;     ///< discount
+    double epsilon = 0.15;  ///< exploration probability
+    double epsilon_decay = 0.999;
+    double epsilon_min = 0.01;
+    double initial_q = 0.0;
+};
+
+class QTable {
+public:
+    QTable(std::size_t num_states, std::size_t num_actions,
+           const QLearningConfig& config, std::uint64_t seed = 17);
+
+    /// Epsilon-greedy action; decays epsilon on every call.
+    std::size_t select(std::size_t state);
+
+    /// Pure greedy action (evaluation mode; ties resolve to lowest index).
+    [[nodiscard]] std::size_t greedy(std::size_t state) const;
+
+    /// Q(s,a) += alpha * (r + gamma * max_a' Q(s',a') - Q(s,a)).
+    void update(std::size_t state, std::size_t action, double reward,
+                std::size_t next_state);
+
+    /// Terminal update (no bootstrap): Q += alpha * (r - Q).
+    void update_terminal(std::size_t state, std::size_t action, double reward);
+
+    [[nodiscard]] double q(std::size_t state, std::size_t action) const;
+    [[nodiscard]] double max_q(std::size_t state) const;
+    [[nodiscard]] std::size_t num_states() const { return num_states_; }
+    [[nodiscard]] std::size_t num_actions() const { return num_actions_; }
+    [[nodiscard]] double epsilon() const { return epsilon_; }
+    void set_epsilon(double epsilon) { epsilon_ = epsilon; }
+
+    /// Table memory footprint in bytes — the paper argues this overhead is
+    /// negligible for an MCU; tests assert it stays KB-scale.
+    [[nodiscard]] std::size_t footprint_bytes() const {
+        return table_.size() * sizeof(double);
+    }
+
+    /// Persist/restore the learned LUT (deployment: train on-device or in
+    /// simulation, flash the table). CSV format: state,action,q.
+    void save(const std::string& path) const;
+    void load(const std::string& path);
+
+private:
+    [[nodiscard]] std::size_t index(std::size_t state, std::size_t action) const {
+        IMX_EXPECTS(state < num_states_ && action < num_actions_);
+        return state * num_actions_ + action;
+    }
+
+    std::size_t num_states_;
+    std::size_t num_actions_;
+    QLearningConfig config_;
+    double epsilon_;
+    std::vector<double> table_;
+    util::Rng rng_;
+};
+
+/// Uniform discretizer for a continuous signal in [lo, hi] into n bins.
+class Discretizer {
+public:
+    Discretizer(double lo, double hi, std::size_t bins);
+    [[nodiscard]] std::size_t bin(double value) const;
+    [[nodiscard]] std::size_t bins() const { return bins_; }
+
+private:
+    double lo_;
+    double hi_;
+    std::size_t bins_;
+};
+
+}  // namespace imx::rl
+
+#endif  // IMX_RL_QTABLE_HPP

@@ -1,0 +1,35 @@
+// Event arrivals ("interesting events" the sensor must classify).
+#ifndef IMX_SIM_EVENT_GEN_HPP
+#define IMX_SIM_EVENT_GEN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace imx::sim {
+
+struct Event {
+    int id = 0;
+    double time_s = 0.0;
+};
+
+enum class ArrivalKind {
+    kUniform,  ///< paper Sec. V-A: "randomly distributed across the duration"
+    kPoisson,  ///< exponential inter-arrivals at matching mean rate
+    kBursty,   ///< Poisson bursts of 2-5 events (stress test for reservation)
+};
+
+struct EventGenConfig {
+    int count = 500;
+    double duration_s = 13000.0;
+    ArrivalKind kind = ArrivalKind::kUniform;
+    std::uint64_t seed = 99;
+};
+
+/// Generate time-sorted events over [0, duration_s).
+std::vector<Event> generate_events(const EventGenConfig& config);
+
+}  // namespace imx::sim
+
+#endif  // IMX_SIM_EVENT_GEN_HPP

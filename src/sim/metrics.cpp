@@ -1,0 +1,103 @@
+#include "sim/metrics.hpp"
+
+#include "util/contracts.hpp"
+
+namespace imx::sim {
+
+int SimResult::processed_count() const {
+    int n = 0;
+    for (const auto& r : records) n += r.processed ? 1 : 0;
+    return n;
+}
+
+int SimResult::missed_count() const {
+    return total_events() - processed_count();
+}
+
+int SimResult::correct_count() const {
+    int n = 0;
+    for (const auto& r : records) n += (r.processed && r.correct) ? 1 : 0;
+    return n;
+}
+
+double SimResult::iepmj() const {
+    IMX_EXPECTS(total_harvested_mj > 0.0);
+    return static_cast<double>(correct_count()) / total_harvested_mj;
+}
+
+double SimResult::accuracy_all_events() const {
+    if (records.empty()) return 0.0;
+    return static_cast<double>(correct_count()) /
+           static_cast<double>(records.size());
+}
+
+double SimResult::accuracy_processed() const {
+    const int processed = processed_count();
+    if (processed == 0) return 0.0;
+    return static_cast<double>(correct_count()) / static_cast<double>(processed);
+}
+
+double SimResult::mean_event_latency_s() const {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& r : records) {
+        if (!r.processed) continue;
+        IMX_ASSERT(r.completion_time_s >= r.arrival_time_s);
+        sum += r.completion_time_s - r.arrival_time_s;
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+double SimResult::mean_inference_latency_s() const {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& r : records) {
+        if (!r.processed) continue;
+        sum += r.completion_time_s - r.inference_start_s;
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+double SimResult::mean_inference_macs() const {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& r : records) {
+        if (!r.processed) continue;
+        sum += static_cast<double>(r.macs);
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+std::vector<int> SimResult::exit_histogram(int num_exits) const {
+    IMX_EXPECTS(num_exits > 0);
+    std::vector<int> hist(static_cast<std::size_t>(num_exits), 0);
+    for (const auto& r : records) {
+        if (!r.processed) continue;
+        IMX_EXPECTS(r.exit_taken >= 0 && r.exit_taken < num_exits);
+        ++hist[static_cast<std::size_t>(r.exit_taken)];
+    }
+    return hist;
+}
+
+double SimResult::total_consumed_mj() const {
+    double sum = 0.0;
+    for (const auto& r : records) sum += r.energy_spent_mj;
+    return sum;
+}
+
+bool SimResult::energy_feasible(double initial_buffer_mj) const {
+    // Records are in arrival order; consumption is attributed at completion.
+    // A conservative prefix check: cumulative spend through event j must not
+    // exceed the total harvest plus the initial buffer.
+    double spent = 0.0;
+    for (const auto& r : records) {
+        spent += r.energy_spent_mj;
+        if (spent > total_harvested_mj + initial_buffer_mj + 1e-9) return false;
+    }
+    return true;
+}
+
+}  // namespace imx::sim

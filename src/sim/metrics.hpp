@@ -1,0 +1,69 @@
+// Per-event records and the paper's evaluation metrics (Eq. 1 IEpmJ,
+// all-event / processed-event accuracy, per-event and per-inference latency,
+// exit histograms).
+#ifndef IMX_SIM_METRICS_HPP
+#define IMX_SIM_METRICS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace imx::sim {
+
+struct EventRecord {
+    int event_id = -1;
+    double arrival_time_s = 0.0;
+    bool processed = false;
+    bool correct = false;
+    int exit_taken = -1;            ///< final exit index; -1 if missed
+    int hops = 0;                   ///< 1 + number of incremental advances
+    double completion_time_s = 0.0; ///< when the result was produced
+    double inference_start_s = 0.0; ///< when execution (not waiting) began
+    double energy_spent_mj = 0.0;
+    std::int64_t macs = 0;          ///< MACs actually executed
+};
+
+struct SimResult {
+    std::vector<EventRecord> records;
+    double total_harvested_mj = 0.0;  ///< gross EH energy over the run
+    double duration_s = 0.0;
+
+    [[nodiscard]] int total_events() const {
+        return static_cast<int>(records.size());
+    }
+    [[nodiscard]] int processed_count() const;
+    [[nodiscard]] int missed_count() const;
+    [[nodiscard]] int correct_count() const;
+
+    /// Paper Eq. 1: correctly processed interesting events per harvested mJ.
+    [[nodiscard]] double iepmj() const;
+
+    /// Mean accuracy over all N events (missed events count 0).
+    [[nodiscard]] double accuracy_all_events() const;
+
+    /// Mean accuracy over processed events only.
+    [[nodiscard]] double accuracy_processed() const;
+
+    /// Mean per-event latency (arrival -> result) over processed events, s.
+    [[nodiscard]] double mean_event_latency_s() const;
+
+    /// Mean per-inference latency (execution start -> result), s.
+    [[nodiscard]] double mean_inference_latency_s() const;
+
+    /// Mean executed MACs per processed event (the paper's per-inference
+    /// latency proxy in Fig. 6).
+    [[nodiscard]] double mean_inference_macs() const;
+
+    /// Events that ended at each exit (length = num_exits).
+    [[nodiscard]] std::vector<int> exit_histogram(int num_exits) const;
+
+    /// Total energy consumed by inference, mJ.
+    [[nodiscard]] double total_consumed_mj() const;
+
+    /// Eq. 5 invariant: at no prefix of the event sequence does cumulative
+    /// consumption exceed cumulative harvest plus the initial buffer.
+    [[nodiscard]] bool energy_feasible(double initial_buffer_mj) const;
+};
+
+}  // namespace imx::sim
+
+#endif  // IMX_SIM_METRICS_HPP

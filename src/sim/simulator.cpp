@@ -1,0 +1,239 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace imx::sim {
+
+namespace {
+
+/// In-flight work for one event.
+struct Job {
+    int event_id = -1;
+    double arrival_s = 0.0;
+    // Multi-exit bookkeeping.
+    bool committed = false;
+    int committed_exit = -1;
+    int reached_exit = -1;
+    EnergyState state_at_selection{};
+    // Execution bookkeeping (both modes).
+    bool executing = false;
+    double exec_finish_s = 0.0;   ///< for atomic multi-exit segments
+    std::int64_t remaining_macs = 0;  ///< for checkpointed mode
+    double inference_start_s = -1.0;
+    double energy_spent_mj = 0.0;
+    std::int64_t macs_done = 0;
+    int hops = 0;
+};
+
+}  // namespace
+
+Simulator::Simulator(const energy::PowerTrace& trace, const SimConfig& config)
+    : trace_(&trace), config_(config) {
+    IMX_EXPECTS(config.dt_s > 0.0);
+    IMX_EXPECTS(config.charge_rate_ema_alpha > 0.0 &&
+                config.charge_rate_ema_alpha <= 1.0);
+}
+
+SimResult Simulator::run(const std::vector<Event>& events,
+                         InferenceModel& model, ExitPolicy& policy) {
+    IMX_EXPECTS(std::is_sorted(events.begin(), events.end(),
+                               [](const Event& a, const Event& b) {
+                                   return a.time_s < b.time_s;
+                               }));
+    if (config_.mode == ExecutionMode::kCheckpointed) {
+        IMX_EXPECTS(model.num_exits() == 1);
+    }
+
+    const mcu::McuModel device(config_.mcu);
+    energy::EnergyStorage storage(config_.storage);
+    util::Ema charge_rate(config_.charge_rate_ema_alpha);
+    charge_rate.update(0.0);
+
+    SimResult result;
+    result.records.resize(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        result.records[i].event_id = events[i].id;
+        result.records[i].arrival_time_s = events[i].time_s;
+    }
+    result.duration_s = trace_->duration();
+    result.total_harvested_mj = trace_->total_energy();
+
+    const double dt = config_.dt_s;
+    std::size_t next_event = 0;
+    bool busy = false;
+    Job job;
+    bool device_on = false;  // checkpointed-mode power state (hysteresis)
+
+    auto energy_state = [&]() {
+        EnergyState s;
+        s.level_mj = storage.level();
+        s.capacity_mj = storage.capacity();
+        s.charge_rate_mw = charge_rate.value();
+        s.energy_per_mmac_mj = config_.mcu.energy_per_mmac_mj;
+        return s;
+    };
+
+    auto finish_event = [&](EventRecord& record, const ExitOutcome& outcome,
+                            double now) {
+        record.processed = true;
+        record.correct = outcome.correct;
+        record.exit_taken = job.reached_exit;
+        record.hops = job.hops;
+        record.completion_time_s = now;
+        record.inference_start_s = job.inference_start_s;
+        record.energy_spent_mj = job.energy_spent_mj;
+        record.macs = job.macs_done;
+        policy.observe(job.state_at_selection, job.reached_exit, outcome.correct);
+        busy = false;
+    };
+
+    const double duration = trace_->duration();
+    for (double now = 0.0; now < duration; now += dt) {
+        // 1. Harvest this step; track the net charging rate the runtime sees.
+        const double power = trace_->power_at(now);
+        const double stored = storage.harvest(power, dt);
+        charge_rate.update(std::max(stored, 0.0) / dt);
+
+        // 2. Event arrivals: first arrival is picked up if idle; arrivals
+        // while busy are lost.
+        while (next_event < events.size() &&
+               events[next_event].time_s < now + dt) {
+            const Event& ev = events[next_event];
+            EventRecord& record = result.records[next_event];
+            ++next_event;
+            if (busy) {
+                policy.observe_missed();
+                (void)record;  // remains processed=false
+                continue;
+            }
+            busy = true;
+            job = Job{};
+            job.event_id = ev.id;
+            job.arrival_s = ev.time_s;
+            if (config_.mode == ExecutionMode::kCheckpointed) {
+                job.remaining_macs = model.exit_macs(0);
+                job.reached_exit = 0;
+            }
+        }
+
+        if (!busy) continue;
+        EventRecord& record =
+            result.records[static_cast<std::size_t>(job.event_id)];
+
+        // 3. Deadline check (only before execution starts).
+        if (!job.executing && job.inference_start_s < 0.0 &&
+            now - job.arrival_s > config_.max_wait_s) {
+            policy.observe_missed();
+            busy = false;
+            continue;
+        }
+
+        if (config_.mode == ExecutionMode::kMultiExit) {
+            // 3a. Finish an atomic execution segment.
+            if (job.executing) {
+                if (now + dt >= job.exec_finish_s) {
+                    job.executing = false;
+                    const ExitOutcome outcome =
+                        model.evaluate(job.event_id, job.reached_exit);
+                    const int next_exit = job.reached_exit + 1;
+                    bool advanced = false;
+                    if (next_exit < model.num_exits() &&
+                        policy.continue_inference(energy_state(), model,
+                                                  job.reached_exit,
+                                                  outcome.confidence)) {
+                        const std::int64_t inc_macs =
+                            model.incremental_macs(job.reached_exit, next_exit);
+                        const double cost = macs_energy_mj(energy_state(), inc_macs);
+                        if (storage.try_consume(cost)) {
+                            job.energy_spent_mj += cost;
+                            job.macs_done += inc_macs;
+                            job.reached_exit = next_exit;
+                            ++job.hops;
+                            job.executing = true;
+                            job.exec_finish_s =
+                                job.exec_finish_s + device.compute_time(inc_macs);
+                            advanced = true;
+                        }
+                    }
+                    if (!advanced) {
+                        finish_event(record, outcome, job.exec_finish_s);
+                    }
+                }
+                continue;
+            }
+
+            // 3b. Waiting: ask (or re-ask) the policy, then start when the
+            // committed exit is affordable.
+            if (!job.committed) {
+                const EnergyState s = energy_state();
+                const int choice = policy.select_exit(s, model);
+                if (choice >= 0) {
+                    IMX_EXPECTS(choice < model.num_exits());
+                    job.committed = true;
+                    job.committed_exit = choice;
+                    job.state_at_selection = s;
+                }
+            }
+            if (job.committed) {
+                const std::int64_t macs = model.exit_macs(job.committed_exit);
+                const double cost = macs_energy_mj(energy_state(), macs) +
+                                    config_.mcu.wakeup_energy_mj;
+                if (storage.try_consume(cost)) {
+                    job.energy_spent_mj += cost;
+                    job.macs_done += macs;
+                    job.reached_exit = job.committed_exit;
+                    job.hops = 1;
+                    // Execution can begin within the arrival step; the start
+                    // time is never earlier than the arrival itself.
+                    job.inference_start_s = std::max(now, job.arrival_s);
+                    job.executing = true;
+                    job.exec_finish_s = job.inference_start_s +
+                                        config_.mcu.wakeup_time_s +
+                                        device.compute_time(macs);
+                }
+            }
+            continue;
+        }
+
+        // Checkpointed (baseline) mode -------------------------------------
+        // Hysteresis power state.
+        if (!device_on && storage.can_turn_on()) {
+            device_on = true;
+            if (!storage.try_consume(config_.mcu.wakeup_energy_mj)) {
+                device_on = false;
+            } else {
+                job.energy_spent_mj += config_.mcu.wakeup_energy_mj;
+            }
+        }
+        if (device_on && storage.must_turn_off()) device_on = false;
+        if (!device_on) continue;
+
+        // Execute up to one step of checkpointed compute.
+        const auto step_macs = std::min<std::int64_t>(
+            job.remaining_macs,
+            static_cast<std::int64_t>(config_.mcu.mmacs_per_second * 1e6 * dt));
+        const double step_cost = device.checkpointed_energy(step_macs);
+        if (!storage.try_consume(step_cost)) {
+            device_on = false;  // brown-out; progress kept at last checkpoint
+            continue;
+        }
+        if (job.inference_start_s < 0.0) {
+            job.inference_start_s = std::max(now, job.arrival_s);
+        }
+        job.energy_spent_mj += step_cost;
+        job.macs_done += step_macs;
+        job.remaining_macs -= step_macs;
+        if (job.remaining_macs <= 0) {
+            const ExitOutcome outcome = model.evaluate(job.event_id, 0);
+            finish_event(record, outcome, now + dt);
+        }
+    }
+
+    // Unfinished in-flight work at trace end counts as missed (no result).
+    return result;
+}
+
+}  // namespace imx::sim

@@ -1,0 +1,14 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace imx::util::detail {
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line) {
+    std::ostringstream oss;
+    oss << kind << " failed: (" << expr << ") at " << file << ":" << line;
+    throw ContractViolation(oss.str());
+}
+
+}  // namespace imx::util::detail

@@ -1,0 +1,56 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", I.8 Ensures()).
+//
+// Violations throw imx::util::ContractViolation so tests can assert on them;
+// production builds keep the checks on because every simulation in this
+// repository is cheap relative to the cost of silently corrupt physics.
+#ifndef IMX_UTIL_CONTRACTS_HPP
+#define IMX_UTIL_CONTRACTS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace imx::util {
+
+/// Thrown when a precondition, postcondition, or invariant fails.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line);
+}  // namespace detail
+
+}  // namespace imx::util
+
+/// Precondition check. Throws imx::util::ContractViolation on failure.
+#define IMX_EXPECTS(cond)                                                     \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::imx::util::detail::contract_fail("Precondition", #cond,         \
+                                               __FILE__, __LINE__);           \
+        }                                                                     \
+    } while (false)
+
+/// Postcondition check. Throws imx::util::ContractViolation on failure.
+#define IMX_ENSURES(cond)                                                     \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::imx::util::detail::contract_fail("Postcondition", #cond,        \
+                                               __FILE__, __LINE__);           \
+        }                                                                     \
+    } while (false)
+
+/// Invariant / internal consistency check.
+#define IMX_ASSERT(cond)                                                      \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::imx::util::detail::contract_fail("Assertion", #cond,            \
+                                               __FILE__, __LINE__);           \
+        }                                                                     \
+    } while (false)
+
+#endif  // IMX_UTIL_CONTRACTS_HPP

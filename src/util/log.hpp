@@ -1,0 +1,55 @@
+// Leveled logging to stderr. Deliberately tiny: the simulators are the
+// product here, not the logger.
+#ifndef IMX_UTIL_LOG_HPP
+#define IMX_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace imx::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log record (no formatting; callers build the string).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+    if (log_level() <= LogLevel::kDebug)
+        log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+    if (log_level() <= LogLevel::kInfo)
+        log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+    if (log_level() <= LogLevel::kWarn)
+        log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+    if (log_level() <= LogLevel::kError)
+        log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace imx::util
+
+#endif  // IMX_UTIL_LOG_HPP

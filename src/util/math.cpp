@@ -1,0 +1,63 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace imx::util {
+
+double softmax_inplace(std::vector<double>& logits) {
+    IMX_EXPECTS(!logits.empty());
+    const double max_logit = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (double& v : logits) {
+        v = std::exp(v - max_logit);
+        sum += v;
+    }
+    IMX_ASSERT(sum > 0.0);
+    for (double& v : logits) v /= sum;
+    return std::log(sum) + max_logit;
+}
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+    std::vector<double> out = logits;
+    softmax_inplace(out);
+    return out;
+}
+
+double entropy(const std::vector<double>& probabilities) {
+    IMX_EXPECTS(!probabilities.empty());
+    double h = 0.0;
+    for (const double p : probabilities) {
+        IMX_EXPECTS(p >= -1e-12 && p <= 1.0 + 1e-12);
+        if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+}
+
+double normalized_entropy(const std::vector<double>& probabilities) {
+    if (probabilities.size() <= 1) return 0.0;
+    const double h = entropy(probabilities);
+    return h / std::log(static_cast<double>(probabilities.size()));
+}
+
+std::size_t argmax(const std::vector<double>& values) {
+    IMX_EXPECTS(!values.empty());
+    return static_cast<std::size_t>(
+        std::distance(values.begin(),
+                      std::max_element(values.begin(), values.end())));
+}
+
+double kahan_sum(const std::vector<double>& values) {
+    double sum = 0.0;
+    double carry = 0.0;
+    for (const double v : values) {
+        const double y = v - carry;
+        const double t = sum + y;
+        carry = (t - sum) - y;
+        sum = t;
+    }
+    return sum;
+}
+
+}  // namespace imx::util

@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace imx::util {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+    IMX_EXPECTS(!weights.empty());
+    double total = 0.0;
+    for (const double w : weights) {
+        IMX_EXPECTS(w >= 0.0);
+        total += w;
+    }
+    IMX_EXPECTS(total > 0.0);
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0) return i;
+    }
+    return weights.size() - 1;  // floating-point slack lands on the last bin
+}
+
+}  // namespace imx::util

@@ -1,0 +1,117 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace imx::util {
+
+void RunningStats::add(double x) {
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n_a = static_cast<double>(count_);
+    const double n_b = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n_a + n_b;
+    mean_ += delta * n_b / n;
+    m2_ += other.m2_ + delta * delta * n_a * n_b / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double quantile(std::vector<double> sample, double q) {
+    IMX_EXPECTS(!sample.empty());
+    IMX_EXPECTS(q >= 0.0 && q <= 1.0);
+    std::sort(sample.begin(), sample.end());
+    const double pos = q * static_cast<double>(sample.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sample.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double mean(const std::vector<double>& sample) {
+    if (sample.empty()) return 0.0;
+    RunningStats rs;
+    for (const double x : sample) rs.add(x);
+    return rs.mean();
+}
+
+double stddev(const std::vector<double>& sample) {
+    if (sample.size() < 2) return 0.0;
+    RunningStats rs;
+    for (const double x : sample) rs.add(x);
+    return rs.stddev();
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+    IMX_EXPECTS(xs.size() == ys.size());
+    IMX_EXPECTS(xs.size() >= 2);
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+    IMX_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+double Ema::update(double x) {
+    if (!initialized_) {
+        value_ = x;
+        initialized_ = true;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+}  // namespace imx::util

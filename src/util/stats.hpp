@@ -1,0 +1,62 @@
+// Streaming and batch statistics used by the metrics and benchmark layers.
+#ifndef IMX_UTIL_STATS_HPP
+#define IMX_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace imx::util {
+
+/// Welford one-pass mean/variance accumulator; O(1) memory.
+class RunningStats {
+public:
+    void add(double x);
+    void merge(const RunningStats& other);
+    void reset();
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double variance() const;  ///< population variance
+    [[nodiscard]] double sample_variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Linear-interpolation quantile of an unsorted sample (copies + sorts).
+double quantile(std::vector<double> sample, double q);
+
+/// Arithmetic mean of a sample. Empty sample yields 0.
+double mean(const std::vector<double>& sample);
+
+/// Population standard deviation of a sample. Fewer than 2 points yields 0.
+double stddev(const std::vector<double>& sample);
+
+/// Pearson correlation of two equal-length samples.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Exponential moving average helper.
+class Ema {
+public:
+    explicit Ema(double alpha);
+    double update(double x);
+    [[nodiscard]] double value() const { return value_; }
+    [[nodiscard]] bool initialized() const { return initialized_; }
+
+private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+}  // namespace imx::util
+
+#endif  // IMX_UTIL_STATS_HPP

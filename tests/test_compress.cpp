@@ -1,0 +1,187 @@
+// Compression accounting tests: policies, NetworkDesc cost model, and
+// constraint fitting, with property sweeps over the pruning grid.
+#include <gtest/gtest.h>
+
+#include "compress/fit.hpp"
+#include "compress/network_desc.hpp"
+#include "compress/policy.hpp"
+#include "core/multi_exit_spec.hpp"
+
+namespace {
+
+using namespace imx;
+using compress::Policy;
+
+TEST(PolicyTest, SnapRespectsGridAndBounds) {
+    EXPECT_DOUBLE_EQ(compress::snap_preserve_ratio(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(compress::snap_preserve_ratio(0.52), 0.5);
+    EXPECT_DOUBLE_EQ(compress::snap_preserve_ratio(0.53), 0.55);
+    EXPECT_DOUBLE_EQ(compress::snap_preserve_ratio(0.0), 0.05);
+    EXPECT_DOUBLE_EQ(compress::snap_preserve_ratio(2.0), 1.0);
+}
+
+TEST(PolicyTest, BitsMappingCoversRange) {
+    EXPECT_EQ(compress::map_action_to_bits(0.0, 1, 8), 1);
+    EXPECT_EQ(compress::map_action_to_bits(1.0, 1, 8), 8);
+    EXPECT_EQ(compress::map_action_to_bits(0.5, 1, 8), 5);  // round(1+3.5)
+    EXPECT_EQ(compress::map_action_to_bits(-3.0, 1, 8), 1);
+    EXPECT_EQ(compress::map_action_to_bits(7.0, 1, 8), 8);
+}
+
+TEST(PolicyTest, FactoriesSetEveryLayer) {
+    const Policy u = Policy::uniform(5, 0.6, 4, 6);
+    ASSERT_EQ(u.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(u[i].preserve_ratio, 0.6);
+        EXPECT_EQ(u[i].weight_bits, 4);
+        EXPECT_EQ(u[i].activation_bits, 6);
+    }
+    const Policy f = Policy::full_precision(3);
+    EXPECT_EQ(f[2].weight_bits, 32);
+}
+
+TEST(NetworkDesc, PaperDescValidates) {
+    const auto desc = core::make_paper_network_desc();
+    EXPECT_NO_THROW(desc.validate());
+    EXPECT_EQ(desc.num_layers(), 11u);
+    EXPECT_EQ(desc.num_exits, 3);
+    EXPECT_EQ(desc.layer_index("FC-B21"), 5);
+    EXPECT_THROW((void)desc.layer_index("nope"), std::out_of_range);
+}
+
+TEST(NetworkDesc, FullPrecisionMatchesPaperExitMacs) {
+    const auto desc = core::make_paper_network_desc();
+    const auto policy = Policy::full_precision(desc.num_layers());
+    const auto macs = compress::per_exit_macs(desc, policy);
+    for (int e = 0; e < 3; ++e) {
+        EXPECT_NEAR(static_cast<double>(macs[static_cast<std::size_t>(e)]) /
+                        core::kPaperExitMacs[static_cast<std::size_t>(e)],
+                    1.0, 0.012)
+            << "exit " << e;
+    }
+}
+
+TEST(NetworkDesc, FullPrecisionBytesAreFourPerParam) {
+    const auto desc = core::make_paper_network_desc();
+    const auto policy = Policy::full_precision(desc.num_layers());
+    double params = 0.0;
+    for (const auto& l : desc.layers) {
+        params += static_cast<double>(l.weight_params + l.bias_params);
+    }
+    EXPECT_NEAR(compress::model_bytes(desc, policy), params * 4.0, 1.0);
+}
+
+TEST(NetworkDesc, JunctionAlphaIsMaxOverConsumers) {
+    const auto desc = core::make_paper_network_desc();
+    Policy policy = Policy::uniform(desc.num_layers(), 1.0, 8, 8);
+    // Junction 1: Conv1 -> {ConvB1, Conv2}.
+    policy[static_cast<std::size_t>(desc.layer_index("ConvB1"))].preserve_ratio = 0.3;
+    policy[static_cast<std::size_t>(desc.layer_index("Conv2"))].preserve_ratio = 0.7;
+    EXPECT_DOUBLE_EQ(compress::junction_alpha(desc, policy, 1), 0.7);
+}
+
+TEST(NetworkDesc, FirstLayerInputNeverPruned) {
+    const auto desc = core::make_paper_network_desc();
+    Policy policy = Policy::uniform(desc.num_layers(), 0.2, 8, 8);
+    EXPECT_DOUBLE_EQ(compress::effective_input_alpha(desc, policy, 0), 1.0);
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, CostsMonotoneInPreserveRatio) {
+    const double alpha = GetParam();
+    const auto desc = core::make_paper_network_desc();
+    const Policy tighter = Policy::uniform(desc.num_layers(), alpha, 8, 8);
+    const Policy looser =
+        Policy::uniform(desc.num_layers(), std::min(1.0, alpha + 0.1), 8, 8);
+    EXPECT_LE(compress::total_macs(desc, tighter),
+              compress::total_macs(desc, looser));
+    EXPECT_LE(compress::model_bytes(desc, tighter),
+              compress::model_bytes(desc, looser));
+    EXPECT_LE(compress::exit_macs_total(desc, tighter),
+              compress::exit_macs_total(desc, looser));
+    for (int e = 0; e < desc.num_exits; ++e) {
+        EXPECT_LE(compress::exit_macs(desc, tighter, e),
+                  compress::exit_macs(desc, looser, e));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AlphaSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+class BitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsSweep, BytesMonotoneInWeightBits) {
+    const int bits = GetParam();
+    const auto desc = core::make_paper_network_desc();
+    const Policy fewer = Policy::uniform(desc.num_layers(), 0.8, bits, 8);
+    const Policy more = Policy::uniform(desc.num_layers(), 0.8, bits + 1, 8);
+    EXPECT_LT(compress::model_bytes(desc, fewer),
+              compress::model_bytes(desc, more));
+    // FLOPs do not depend on bitwidth in this cost model.
+    EXPECT_EQ(compress::total_macs(desc, fewer),
+              compress::total_macs(desc, more));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitsSweep, ::testing::Range(1, 8));
+
+TEST(Fit, UniformFitSatisfiesPaperConstraints) {
+    const auto desc = core::make_paper_network_desc();
+    const auto constraints = core::paper_constraints();
+    const Policy p = compress::make_uniform_for_targets(desc, constraints);
+    EXPECT_TRUE(compress::satisfies(desc, p, constraints));
+    EXPECT_LE(compress::total_macs(desc, p), constraints.f_target_macs);
+    EXPECT_LE(compress::model_bytes(desc, p), constraints.s_target_bytes);
+}
+
+TEST(Fit, UniformFitIsMaximal) {
+    // One grid step looser on alpha (same bits) must violate FLOPs, or the
+    // alpha was not binding and one more bit must violate size.
+    const auto desc = core::make_paper_network_desc();
+    const auto constraints = core::paper_constraints();
+    Policy p = compress::make_uniform_for_targets(desc, constraints);
+    Policy looser = p;
+    for (auto& lp : looser.layers) {
+        lp.preserve_ratio =
+            compress::snap_preserve_ratio(lp.preserve_ratio + 0.05);
+    }
+    Policy more_bits = p;
+    for (auto& lp : more_bits.layers) lp.weight_bits += 1;
+    EXPECT_TRUE(!compress::satisfies(desc, looser, constraints) ||
+                !compress::satisfies(desc, more_bits, constraints));
+}
+
+TEST(Fit, ImpossibleConstraintsThrow) {
+    const auto desc = core::make_paper_network_desc();
+    compress::Constraints impossible;
+    impossible.f_target_macs = 1000.0;  // 1 kMAC: unreachable
+    impossible.s_target_bytes = 10.0;
+    EXPECT_THROW(compress::make_uniform_for_targets(desc, impossible),
+                 std::runtime_error);
+}
+
+TEST(Fit, ReferenceNonuniformPolicySatisfiesConstraints) {
+    const auto desc = core::make_paper_network_desc();
+    EXPECT_TRUE(compress::satisfies(desc, core::reference_nonuniform_policy(),
+                                    core::paper_constraints()));
+}
+
+TEST(Fit, ReferencePolicyRetainsMoreInShallowExits) {
+    // The Fig. 6 shape: compression ratio grows with exit depth.
+    const auto desc = core::make_paper_network_desc();
+    const auto full = Policy::full_precision(desc.num_layers());
+    const auto ref = core::reference_nonuniform_policy();
+    const auto before = compress::per_exit_macs(desc, full);
+    const auto after = compress::per_exit_macs(desc, ref);
+    std::vector<double> ratio(3);
+    for (int e = 0; e < 3; ++e) {
+        ratio[static_cast<std::size_t>(e)] =
+            static_cast<double>(after[static_cast<std::size_t>(e)]) /
+            static_cast<double>(before[static_cast<std::size_t>(e)]);
+    }
+    EXPECT_GT(ratio[0], ratio[1]);
+    EXPECT_GT(ratio[1], ratio[2]);
+}
+
+}  // namespace

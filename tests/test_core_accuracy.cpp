@@ -1,0 +1,151 @@
+// Accuracy-oracle tests: calibration to the paper anchors, monotonicity
+// properties, and the extreme-compression collapse guard.
+#include <gtest/gtest.h>
+
+#include "core/accuracy_model.hpp"
+#include "core/multi_exit_spec.hpp"
+
+namespace {
+
+using namespace imx;
+
+const compress::NetworkDesc& paper_desc() {
+    static const compress::NetworkDesc desc = core::make_paper_network_desc();
+    return desc;
+}
+
+const core::AccuracyModel& calibrated() {
+    static const core::AccuracyModel model(
+        paper_desc(), {core::kPaperFullPrecisionAcc.begin(),
+                       core::kPaperFullPrecisionAcc.end()});
+    return model;
+}
+
+TEST(AccuracyModel, FullPrecisionReturnsBaseAccuracies) {
+    const auto acc = calibrated().exit_accuracy(
+        compress::Policy::full_precision(paper_desc().num_layers()));
+    for (int e = 0; e < 3; ++e) {
+        EXPECT_NEAR(acc[static_cast<std::size_t>(e)],
+                    core::kPaperFullPrecisionAcc[static_cast<std::size_t>(e)],
+                    1e-9);
+    }
+}
+
+TEST(AccuracyModel, CalibrationResidualIsSmall) {
+    EXPECT_LT(calibrated().calibration_residual(), 1.5);  // pp, rms
+}
+
+TEST(AccuracyModel, UniformAnchorReproduced) {
+    const auto acc =
+        calibrated().exit_accuracy(core::uniform_baseline_policy());
+    for (int e = 0; e < 3; ++e) {
+        EXPECT_NEAR(acc[static_cast<std::size_t>(e)],
+                    core::kPaperUniformAcc[static_cast<std::size_t>(e)], 2.5)
+            << "exit " << e;
+    }
+}
+
+TEST(AccuracyModel, NonuniformAnchorReproduced) {
+    const auto acc =
+        calibrated().exit_accuracy(core::reference_nonuniform_policy());
+    for (int e = 0; e < 3; ++e) {
+        EXPECT_NEAR(acc[static_cast<std::size_t>(e)],
+                    core::kPaperNonuniformAcc[static_cast<std::size_t>(e)], 2.5)
+            << "exit " << e;
+    }
+}
+
+TEST(AccuracyModel, NonuniformBeatsUniformAtEveryExit) {
+    // The headline claim of Fig. 1b.
+    const auto uniform =
+        calibrated().exit_accuracy(core::uniform_baseline_policy());
+    const auto nonuniform =
+        calibrated().exit_accuracy(core::reference_nonuniform_policy());
+    for (int e = 0; e < 3; ++e) {
+        EXPECT_GT(nonuniform[static_cast<std::size_t>(e)],
+                  uniform[static_cast<std::size_t>(e)])
+            << "exit " << e;
+    }
+}
+
+class PruneMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruneMonotonicity, MorePruningNeverHelps) {
+    const int layer = GetParam();
+    compress::Policy policy =
+        compress::Policy::uniform(paper_desc().num_layers(), 0.9, 8, 8);
+    double prev = 1e9;
+    for (double alpha = 0.9; alpha >= 0.3; alpha -= 0.1) {
+        policy[static_cast<std::size_t>(layer)].preserve_ratio = alpha;
+        double mean = 0.0;
+        for (const double a : calibrated().exit_accuracy(policy)) mean += a;
+        EXPECT_LE(mean, prev + 1e-9) << "alpha " << alpha;
+        prev = mean;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, PruneMonotonicity,
+                         ::testing::Range(0, 11));
+
+class BitsMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsMonotonicity, FewerBitsNeverHelp) {
+    const int layer = GetParam();
+    compress::Policy policy =
+        compress::Policy::uniform(paper_desc().num_layers(), 0.9, 8, 8);
+    double prev = -1.0;
+    for (int bits = 1; bits <= 8; ++bits) {
+        policy[static_cast<std::size_t>(layer)].weight_bits = bits;
+        double mean = 0.0;
+        for (const double a : calibrated().exit_accuracy(policy)) mean += a;
+        EXPECT_GE(mean, prev - 1e-9) << "bits " << bits;
+        prev = mean;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, BitsMonotonicity, ::testing::Range(0, 11));
+
+TEST(AccuracyModel, ExtremePruningCollapsesTowardChance) {
+    const compress::Policy destroyed =
+        compress::Policy::uniform(paper_desc().num_layers(), 0.05, 8, 8);
+    const auto acc = calibrated().exit_accuracy(destroyed);
+    for (const double a : acc) {
+        EXPECT_LT(a, calibrated().chance_accuracy() + 5.0);
+    }
+}
+
+TEST(AccuracyModel, DeeperExitsMoreAccurateUnderUniformPolicies) {
+    for (double alpha = 0.5; alpha <= 1.0; alpha += 0.25) {
+        const auto acc = calibrated().exit_accuracy(
+            compress::Policy::uniform(paper_desc().num_layers(), alpha, 8, 8));
+        EXPECT_LT(acc[0], acc[1]);
+        EXPECT_LT(acc[1], acc[2]);
+    }
+}
+
+TEST(AccuracyModel, OnlyPathLayersAffectAnExit) {
+    // Compressing Conv3/Conv4 (exit-3-only layers) must not change exit 1.
+    compress::Policy policy =
+        compress::Policy::uniform(paper_desc().num_layers(), 1.0, 8, 8);
+    const double before = calibrated().accuracy(policy, 0);
+    policy[static_cast<std::size_t>(paper_desc().layer_index("Conv3"))] =
+        {0.3, 2, 2};
+    policy[static_cast<std::size_t>(paper_desc().layer_index("Conv4"))] =
+        {0.3, 2, 2};
+    EXPECT_NEAR(calibrated().accuracy(policy, 0), before, 1e-9);
+    EXPECT_LT(calibrated().accuracy(policy, 2), 73.0);
+}
+
+TEST(AccuracyModel, ExplicitParamsSkipCalibration) {
+    core::SensitivityParams params;
+    params.quant_base = 0.0;
+    params.prune_base = 0.0;
+    const core::AccuracyModel model(paper_desc(), {60.0, 70.0, 73.0}, {},
+                                    params);
+    // Zero sensitivities (above the knee): compression is free.
+    auto policy = compress::Policy::uniform(paper_desc().num_layers(), 0.6, 2, 2);
+    const auto acc = model.exit_accuracy(policy);
+    EXPECT_NEAR(acc[2], 73.0, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Compression-search tests: evaluator scoring, DDPG/random/annealing search
+// behaviour under the paper constraints.
+#include <gtest/gtest.h>
+
+#include "core/accuracy_model.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/search.hpp"
+#include "core/trace_eval.hpp"
+
+namespace {
+
+using namespace imx;
+
+struct SearchFixture : public ::testing::Test {
+    SearchFixture()
+        : setup(core::make_paper_setup()),
+          oracle(setup.network, {core::kPaperFullPrecisionAcc.begin(),
+                                 core::kPaperFullPrecisionAcc.end()}),
+          trace_eval(setup.trace, setup.events, core::paper_storage_config(),
+                     core::kEnergyPerMMacMj),
+          evaluator(setup.network, oracle, trace_eval,
+                    core::paper_constraints(), true) {}
+
+    core::ExperimentSetup setup;
+    core::AccuracyModel oracle;
+    core::StaticTraceEvaluator trace_eval;
+    core::PolicyEvaluator evaluator;
+};
+
+TEST_F(SearchFixture, ScoreFlagsConstraintViolations) {
+    const auto full = evaluator.score(
+        compress::Policy::full_precision(setup.network.num_layers()));
+    EXPECT_FALSE(full.flops_ok);  // 1.92M > 1.15M
+    EXPECT_FALSE(full.size_ok);   // 547 KB > 16 KB
+    EXPECT_FALSE(full.feasible());
+
+    const auto ref = evaluator.score(core::reference_nonuniform_policy());
+    EXPECT_TRUE(ref.feasible());
+    EXPECT_GT(ref.racc, 0.2);
+    EXPECT_LT(ref.racc, 1.0);
+}
+
+TEST_F(SearchFixture, TraceAwareRewardDiffersFromPlainMean) {
+    const core::PolicyEvaluator plain(setup.network, oracle, trace_eval,
+                                      core::paper_constraints(), false);
+    const auto policy = core::reference_nonuniform_policy();
+    const double aware = evaluator.score(policy).racc;
+    const double mean = plain.score(policy).racc;
+    // Plain mean ignores missed events, so it reads higher.
+    EXPECT_GT(mean, aware);
+}
+
+TEST_F(SearchFixture, RandomSearchFindsFeasiblePolicies) {
+    core::SearchConfig cfg;
+    cfg.episodes = 60;
+    cfg.seed = 11;
+    core::CompressionSearch search(evaluator, cfg);
+    const auto r = search.run_random();
+    EXPECT_TRUE(r.found_feasible);
+    EXPECT_EQ(r.evaluations, 60);
+    EXPECT_EQ(r.episode_reward.size(), 60u);
+    EXPECT_TRUE(compress::satisfies(setup.network, r.best_policy,
+                                    core::paper_constraints()));
+}
+
+TEST_F(SearchFixture, AnnealingImprovesOnUniformStart) {
+    core::SearchConfig cfg;
+    cfg.episodes = 150;
+    cfg.seed = 13;
+    core::CompressionSearch search(evaluator, cfg);
+    const double uniform_racc =
+        evaluator.score(core::uniform_baseline_policy()).racc;
+    const auto r = search.run_annealing();
+    EXPECT_TRUE(r.found_feasible);
+    EXPECT_GT(r.best_reward, uniform_racc);
+}
+
+TEST_F(SearchFixture, DdpgFindsFeasibleAndBeatsItsWarmup) {
+    core::SearchConfig cfg;
+    cfg.episodes = 80;
+    cfg.warmup_episodes = 16;
+    cfg.seed = 17;
+    core::CompressionSearch search(evaluator, cfg);
+    const auto r = search.run_ddpg();
+    EXPECT_TRUE(r.found_feasible);
+    EXPECT_TRUE(compress::satisfies(setup.network, r.best_policy,
+                                    core::paper_constraints()));
+    EXPECT_EQ(static_cast<int>(r.episode_reward.size()), 80);
+}
+
+TEST_F(SearchFixture, RefinedDdpgAtLeastMatchesDdpg) {
+    core::SearchConfig cfg;
+    cfg.episodes = 60;
+    cfg.warmup_episodes = 16;
+    cfg.seed = 19;
+    core::CompressionSearch search(evaluator, cfg);
+    const auto raw = search.run_ddpg();
+    const auto refined = search.run_ddpg_refined();
+    EXPECT_GE(refined.best_reward, raw.best_reward - 1e-9);
+    EXPECT_TRUE(refined.found_feasible);
+}
+
+TEST_F(SearchFixture, SearchedPoliciesStayOnTheGrid) {
+    core::SearchConfig cfg;
+    cfg.episodes = 40;
+    cfg.seed = 23;
+    core::CompressionSearch search(evaluator, cfg);
+    for (const auto& result :
+         {search.run_random(), search.run_annealing()}) {
+        for (const auto& lp : result.best_policy.layers) {
+            // alpha on the 0.05 grid.
+            const double steps = lp.preserve_ratio / compress::kPreserveStep;
+            EXPECT_NEAR(steps, std::round(steps), 1e-6);
+            EXPECT_GE(lp.weight_bits, compress::kMinBits);
+            EXPECT_LE(lp.weight_bits, compress::kMaxBits);
+            EXPECT_GE(lp.activation_bits, compress::kMinBits);
+            EXPECT_LE(lp.activation_bits, compress::kMaxBits);
+        }
+    }
+}
+
+TEST_F(SearchFixture, DeterministicForFixedSeed) {
+    core::SearchConfig cfg;
+    cfg.episodes = 30;
+    cfg.seed = 29;
+    core::CompressionSearch a(evaluator, cfg);
+    core::CompressionSearch b(evaluator, cfg);
+    const auto ra = a.run_random();
+    const auto rb = b.run_random();
+    EXPECT_EQ(ra.best_reward, rb.best_reward);
+    for (std::size_t l = 0; l < ra.best_policy.size(); ++l) {
+        EXPECT_EQ(ra.best_policy[l].preserve_ratio,
+                  rb.best_policy[l].preserve_ratio);
+        EXPECT_EQ(ra.best_policy[l].weight_bits, rb.best_policy[l].weight_bits);
+    }
+}
+
+}  // namespace

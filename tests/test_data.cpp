@@ -1,0 +1,146 @@
+// SynthCIFAR dataset tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth_cifar.hpp"
+
+namespace {
+
+using namespace imx;
+
+data::SynthCifarConfig small_config() {
+    data::SynthCifarConfig cfg;
+    cfg.num_samples = 200;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(SynthCifar, DeterministicForSeed) {
+    const auto a = data::make_synth_cifar(small_config());
+    const auto b = data::make_synth_cifar(small_config());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.labels, b.labels);
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::int64_t j = 0; j < a.images[i].numel(); j += 97) {
+            EXPECT_EQ(a.images[i][j], b.images[i][j]);
+        }
+    }
+}
+
+TEST(SynthCifar, DifferentSeedsDiffer) {
+    auto cfg = small_config();
+    const auto a = data::make_synth_cifar(cfg);
+    cfg.seed = 12;
+    const auto b = data::make_synth_cifar(cfg);
+    EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(SynthCifar, ShapesLabelsAndRange) {
+    const auto ds = data::make_synth_cifar(small_config());
+    ASSERT_EQ(ds.size(), 200u);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        EXPECT_EQ(ds.images[i].shape(), (nn::Shape{3, 32, 32}));
+        EXPECT_GE(ds.labels[i], 0);
+        EXPECT_LT(ds.labels[i], 10);
+        for (std::int64_t j = 0; j < ds.images[i].numel(); j += 53) {
+            EXPECT_GE(ds.images[i][j], 0.0F);
+            EXPECT_LE(ds.images[i][j], 1.0F);
+        }
+    }
+}
+
+TEST(SynthCifar, AllClassesRepresented) {
+    auto cfg = small_config();
+    cfg.num_samples = 500;
+    const auto ds = data::make_synth_cifar(cfg);
+    std::vector<int> counts(10, 0);
+    for (const int l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+    for (int c = 0; c < 10; ++c) EXPECT_GT(counts[static_cast<std::size_t>(c)], 10);
+}
+
+TEST(SynthCifar, ClassesAreVisuallySeparated) {
+    auto cfg = small_config();
+    cfg.num_samples = 400;
+    cfg.noise_level = 0.05;
+    const auto ds = data::make_synth_cifar(cfg);
+
+    // Mean image per class; distance between class means should dominate
+    // within-class spread for at least the color cue.
+    std::vector<std::vector<double>> mean_rgb(10, std::vector<double>(3, 0.0));
+    std::vector<int> counts(10, 0);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const auto& img = ds.images[i];
+        const auto l = static_cast<std::size_t>(ds.labels[i]);
+        ++counts[l];
+        for (int c = 0; c < 3; ++c) {
+            double sum = 0.0;
+            for (int y = 0; y < 32; ++y) {
+                for (int x = 0; x < 32; ++x) sum += img.at(c, y, x);
+            }
+            mean_rgb[l][static_cast<std::size_t>(c)] += sum / (32.0 * 32.0);
+        }
+    }
+    double max_gap = 0.0;
+    for (int a = 0; a < 10; ++a) {
+        for (int b = a + 1; b < 10; ++b) {
+            double d = 0.0;
+            for (int c = 0; c < 3; ++c) {
+                const double va = mean_rgb[static_cast<std::size_t>(a)][static_cast<std::size_t>(c)] / counts[static_cast<std::size_t>(a)];
+                const double vb = mean_rgb[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)] / counts[static_cast<std::size_t>(b)];
+                d += (va - vb) * (va - vb);
+            }
+            max_gap = std::max(max_gap, std::sqrt(d));
+        }
+    }
+    EXPECT_GT(max_gap, 0.1);  // some class pair has a clear color gap
+}
+
+TEST(SynthCifar, SplitIsDisjointAndSized) {
+    const auto ds = data::make_synth_cifar(small_config());
+    const auto [train, test] = data::split(ds, 0.25, 3);
+    EXPECT_EQ(test.size(), 50u);
+    EXPECT_EQ(train.size(), 150u);
+    EXPECT_EQ(train.num_classes, ds.num_classes);
+}
+
+TEST(SynthCifar, LabelNoiseRateApproximatesP) {
+    auto cfg = small_config();
+    cfg.num_samples = 2000;
+    auto ds = data::make_synth_cifar(cfg);
+    const auto original = ds.labels;
+    data::inject_label_noise(ds, 0.3, 5);
+    int flipped = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        flipped += ds.labels[i] != original[i] ? 1 : 0;
+        EXPECT_GE(ds.labels[i], 0);
+        EXPECT_LT(ds.labels[i], 10);
+    }
+    EXPECT_NEAR(flipped / 2000.0, 0.3, 0.04);
+}
+
+TEST(SynthCifar, CueStrengthZeroRemovesStructure) {
+    auto cfg = small_config();
+    cfg.cue_strength = 0.0;
+    cfg.noise_level = 0.0;
+    const auto ds = data::make_synth_cifar(cfg);
+    // With no texture/shape cue and no noise, images are flat color fields:
+    // per-channel variance within an image ~ 0.
+    const auto& img = ds.images[0];
+    for (int c = 0; c < 3; ++c) {
+        double mean = 0.0;
+        double var = 0.0;
+        for (int y = 0; y < 32; ++y) {
+            for (int x = 0; x < 32; ++x) mean += img.at(c, y, x);
+        }
+        mean /= 1024.0;
+        for (int y = 0; y < 32; ++y) {
+            for (int x = 0; x < 32; ++x) {
+                var += (img.at(c, y, x) - mean) * (img.at(c, y, x) - mean);
+            }
+        }
+        EXPECT_LT(var / 1024.0, 1e-6);
+    }
+}
+
+}  // namespace

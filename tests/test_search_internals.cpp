@@ -1,0 +1,106 @@
+// Tests for search internals: the Eq. 9 observation vector and episode
+// bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include "core/accuracy_model.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/search.hpp"
+#include "core/trace_eval.hpp"
+
+namespace {
+
+using namespace imx;
+
+TEST(SearchInternals, EpisodeRewardsTrackFeasibility) {
+    const auto setup = core::make_paper_setup();
+    const core::AccuracyModel oracle(
+        setup.network, {core::kPaperFullPrecisionAcc.begin(),
+                        core::kPaperFullPrecisionAcc.end()});
+    const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(setup.network, oracle, trace_eval,
+                                          core::paper_constraints(), true);
+    core::SearchConfig cfg;
+    cfg.episodes = 50;
+    cfg.seed = 3;
+    core::CompressionSearch search(evaluator, cfg);
+    const auto r = search.run_random();
+    // Feasible episodes carry Racc in (0, 1]; infeasible ones carry -1.
+    int feasible = 0;
+    for (const double reward : r.episode_reward) {
+        if (reward >= 0.0) {
+            EXPECT_LE(reward, 1.0);
+            ++feasible;
+        } else {
+            EXPECT_DOUBLE_EQ(reward, -1.0);
+        }
+    }
+    EXPECT_EQ(r.found_feasible, feasible > 0);
+    if (r.found_feasible) {
+        // best_reward is the max over feasible episode rewards.
+        double best = -1.0;
+        for (const double reward : r.episode_reward) best = std::max(best, reward);
+        EXPECT_DOUBLE_EQ(r.best_reward, best);
+    }
+}
+
+TEST(SearchInternals, ScoreMatchesAccountingDirectly) {
+    const auto setup = core::make_paper_setup();
+    const core::AccuracyModel oracle(
+        setup.network, {core::kPaperFullPrecisionAcc.begin(),
+                        core::kPaperFullPrecisionAcc.end()});
+    const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(setup.network, oracle, trace_eval,
+                                          core::paper_constraints(), true);
+    const auto policy = core::reference_nonuniform_policy();
+    const auto score = evaluator.score(policy);
+    EXPECT_DOUBLE_EQ(
+        score.total_macs,
+        static_cast<double>(compress::total_macs(setup.network, policy)));
+    EXPECT_DOUBLE_EQ(score.bytes, compress::model_bytes(setup.network, policy));
+    // Racc equals the trace evaluator's output for the same inputs.
+    const auto direct = trace_eval.evaluate(
+        compress::per_exit_macs(setup.network, policy),
+        oracle.exit_accuracy(policy));
+    EXPECT_DOUBLE_EQ(score.racc, direct.avg_accuracy_all);
+}
+
+TEST(SearchInternals, TraceEvaluatorTotalEnergyIsPlausible) {
+    const auto setup = core::make_paper_setup();
+    const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    // Net storable energy (after efficiency/leakage) is below the gross
+    // harvest but the same order of magnitude.
+    const double net = trace_eval.total_harvestable_mj();
+    EXPECT_LT(net, setup.trace.total_energy());
+    EXPECT_GT(net, 0.75 * setup.trace.total_energy());
+}
+
+TEST(SearchInternals, LambdaScalesOnlyMagnitudeNotArgmax) {
+    const auto setup = core::make_paper_setup();
+    const core::AccuracyModel oracle(
+        setup.network, {core::kPaperFullPrecisionAcc.begin(),
+                        core::kPaperFullPrecisionAcc.end()});
+    const core::StaticTraceEvaluator trace_eval(
+        setup.trace, setup.events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(setup.network, oracle, trace_eval,
+                                          core::paper_constraints(), true);
+    core::SearchConfig a;
+    a.episodes = 40;
+    a.seed = 5;
+    core::SearchConfig b = a;
+    b.lambda1 = 2.5;
+    b.lambda2 = 0.5;
+    // Random search ignores lambdas entirely: identical outcomes.
+    core::CompressionSearch sa(evaluator, a);
+    core::CompressionSearch sb(evaluator, b);
+    EXPECT_DOUBLE_EQ(sa.run_random().best_reward, sb.run_random().best_reward);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Edge-case and behavioural tests for the simulator and runtime that the
+// main suites don't cover: wakeup accounting, charge-rate observation,
+// commitment semantics, empty/degenerate inputs.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_models.hpp"
+#include "core/experiment_setup.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/oracle_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace imx;
+
+sim::SimConfig rich_config() {
+    sim::SimConfig cfg;
+    cfg.storage.capacity_mj = 50.0;
+    cfg.storage.initial_mj = 50.0;
+    cfg.storage.leakage_mw = 0.0;
+    cfg.mcu.mmacs_per_second = 1.0;
+    return cfg;
+}
+
+TEST(SimulatorEdges, NoEventsYieldsEmptyResult) {
+    const auto trace = energy::PowerTrace::constant(1.0, 100.0, 1.0);
+    sim::Simulator simulator(trace, rich_config());
+    auto model = baselines::FixedBaselineModel("m", 0.1, 90.0, 1.0);
+    sim::GreedyAffordablePolicy policy;
+    const auto r = simulator.run({}, model, policy);
+    EXPECT_EQ(r.total_events(), 0);
+    EXPECT_EQ(r.processed_count(), 0);
+    EXPECT_NEAR(r.accuracy_all_events(), 0.0, 1e-12);
+    EXPECT_EQ(r.mean_event_latency_s(), 0.0);
+}
+
+TEST(SimulatorEdges, EventAfterTraceEndIsMissed) {
+    const auto trace = energy::PowerTrace::constant(1.0, 50.0, 1.0);
+    sim::Simulator simulator(trace, rich_config());
+    auto model = baselines::FixedBaselineModel("m", 0.1, 90.0, 1.0);
+    sim::GreedyAffordablePolicy policy;
+    std::vector<sim::Event> events = {{0, 10.0}, {1, 49.9}};
+    const auto r = simulator.run(events, model, policy);
+    EXPECT_TRUE(r.records[0].processed);
+    // Event 1 arrives 0.1 s before the trace ends; its compute cannot finish.
+    EXPECT_FALSE(r.records[1].processed);
+}
+
+TEST(SimulatorEdges, WakeupEnergyIsCharged) {
+    auto cfg = rich_config();
+    cfg.mcu.wakeup_energy_mj = 0.5;
+    const auto trace = energy::PowerTrace::constant(0.0, 100.0, 1.0);
+    sim::Simulator simulator(trace, cfg);
+    auto model = baselines::FixedBaselineModel("m", 0.1, 90.0, 1.0);
+    sim::GreedyAffordablePolicy policy;
+    std::vector<sim::Event> events = {{0, 5.0}};
+    const auto r = simulator.run(events, model, policy);
+    ASSERT_TRUE(r.records[0].processed);
+    // 0.1 MMAC * 1.5 + 0.5 wakeup.
+    EXPECT_NEAR(r.records[0].energy_spent_mj, 0.15 + 0.5, 1e-9);
+}
+
+TEST(SimulatorEdges, UnsortedEventsRejected) {
+    const auto trace = energy::PowerTrace::constant(1.0, 50.0, 1.0);
+    sim::Simulator simulator(trace, rich_config());
+    auto model = baselines::FixedBaselineModel("m", 0.1, 90.0, 1.0);
+    sim::GreedyAffordablePolicy policy;
+    std::vector<sim::Event> events = {{0, 20.0}, {1, 10.0}};
+    EXPECT_THROW((void)simulator.run(events, model, policy),
+                 util::ContractViolation);
+}
+
+TEST(SimulatorEdges, PolicySeesChargingRateInState) {
+    // A probe policy that records the observed state and always waits;
+    // the charge-rate EMA must reflect the harvest level.
+    struct Probe final : sim::ExitPolicy {
+        double last_rate = -1.0;
+        double last_level = -1.0;
+        int select_exit(const sim::EnergyState& s,
+                        const sim::InferenceModel&) override {
+            last_rate = s.charge_rate_mw;
+            last_level = s.level_mj;
+            return -1;  // keep waiting
+        }
+        bool continue_inference(const sim::EnergyState&,
+                                const sim::InferenceModel&, int,
+                                double) override {
+            return false;
+        }
+    };
+    auto cfg = rich_config();
+    cfg.storage.initial_mj = 0.0;
+    cfg.storage.efficiency_max = 1.0;
+    cfg.storage.efficiency_half_power_mw = 0.0;
+    const auto trace = energy::PowerTrace::constant(0.04, 300.0, 1.0);
+    sim::Simulator simulator(trace, cfg);
+    auto model = baselines::FixedBaselineModel("m", 0.1, 90.0, 1.0);
+    Probe probe;
+    std::vector<sim::Event> events = {{0, 150.0}};
+    (void)simulator.run(events, model, probe);
+    // After 150 s of constant 0.04 mW harvesting, the EMA is close to it.
+    EXPECT_NEAR(probe.last_rate, 0.04, 0.01);
+    EXPECT_GT(probe.last_level, 0.0);
+}
+
+TEST(SimulatorEdges, CommittedExitIsHonoredOnceAffordable) {
+    // A policy that commits to the deepest exit immediately; the simulator
+    // must wait and then run exactly that exit.
+    struct CommitDeep final : sim::ExitPolicy {
+        int select_exit(const sim::EnergyState&,
+                        const sim::InferenceModel& m) override {
+            return m.num_exits() - 1;
+        }
+        bool continue_inference(const sim::EnergyState&,
+                                const sim::InferenceModel&, int,
+                                double) override {
+            return false;
+        }
+    };
+    auto cfg = rich_config();
+    cfg.storage.initial_mj = 0.0;
+    cfg.storage.efficiency_max = 1.0;
+    cfg.storage.efficiency_half_power_mw = 0.0;
+    cfg.mcu.wakeup_energy_mj = 0.0;
+    const auto trace = energy::PowerTrace::constant(0.05, 400.0, 1.0);
+    sim::Simulator simulator(trace, cfg);
+    const auto desc = core::make_paper_network_desc();
+    core::OracleInferenceModel model(desc, core::reference_nonuniform_policy(),
+                                     {60.0, 68.0, 70.0});
+    CommitDeep policy;
+    std::vector<sim::Event> events = {{0, 1.0}};
+    const auto r = simulator.run(events, model, policy);
+    ASSERT_TRUE(r.records[0].processed);
+    EXPECT_EQ(r.records[0].exit_taken, 2);
+    // Waited to buffer ~1 mJ at 0.05 mW: at least ~15 s of latency.
+    EXPECT_GT(r.records[0].completion_time_s - r.records[0].arrival_time_s,
+              10.0);
+}
+
+TEST(SimulatorEdges, ObserveMissedReachesPolicy) {
+    struct CountMisses final : sim::ExitPolicy {
+        int misses = 0;
+        int select_exit(const sim::EnergyState&,
+                        const sim::InferenceModel&) override {
+            return 0;
+        }
+        bool continue_inference(const sim::EnergyState&,
+                                const sim::InferenceModel&, int,
+                                double) override {
+            return false;
+        }
+        void observe_missed() override { ++misses; }
+    };
+    auto cfg = rich_config();
+    cfg.mcu.mmacs_per_second = 0.001;  // 0.1 MMAC takes 100 s
+    const auto trace = energy::PowerTrace::constant(1.0, 300.0, 1.0);
+    sim::Simulator simulator(trace, cfg);
+    auto model = baselines::FixedBaselineModel("m", 0.1, 90.0, 1.0);
+    CountMisses policy;
+    std::vector<sim::Event> events = {{0, 1.0}, {1, 5.0}, {2, 9.0}};
+    const auto r = simulator.run(events, model, policy);
+    EXPECT_EQ(r.missed_count(), 2);
+    EXPECT_EQ(policy.misses, 2);
+}
+
+TEST(SimulatorEdges, HopsCountIncrementalAdvances) {
+    struct ContinueOnce final : sim::ExitPolicy {
+        int select_exit(const sim::EnergyState&,
+                        const sim::InferenceModel&) override {
+            return 0;
+        }
+        bool continue_inference(const sim::EnergyState&,
+                                const sim::InferenceModel&, int current,
+                                double) override {
+            return current == 0;  // advance exactly once
+        }
+    };
+    const auto trace = energy::PowerTrace::constant(1.0, 200.0, 1.0);
+    sim::Simulator simulator(trace, rich_config());
+    const auto desc = core::make_paper_network_desc();
+    core::OracleInferenceModel model(desc, core::reference_nonuniform_policy(),
+                                     {60.0, 68.0, 70.0});
+    ContinueOnce policy;
+    std::vector<sim::Event> events = {{0, 5.0}};
+    const auto r = simulator.run(events, model, policy);
+    ASSERT_TRUE(r.records[0].processed);
+    EXPECT_EQ(r.records[0].exit_taken, 1);
+    EXPECT_EQ(r.records[0].hops, 2);
+    // Energy: exit-0 full cost + incremental cost to exit 1 (+ wakeup).
+    const double expected =
+        sim::macs_energy_mj({0, 0, 0, 1.5}, model.exit_macs(0)) +
+        sim::macs_energy_mj({0, 0, 0, 1.5}, model.incremental_macs(0, 1)) +
+        rich_config().mcu.wakeup_energy_mj;
+    EXPECT_NEAR(r.records[0].energy_spent_mj, expected, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Physical network-surgery tests: channel pruning across junctions, weight
+// fake-quantization, ActQuant behaviour, end-to-end policy application.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compress/surgery.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "nn/basic_layers.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace imx;
+
+TEST(ActQuant, PassThroughAt32Bits) {
+    compress::ActQuant aq("aq", 32);
+    nn::Tensor x({4}, {0.1F, 0.5F, 0.9F, 0.0F});
+    const nn::Tensor y = aq.forward(x);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(ActQuant, QuantizesToGrid) {
+    compress::ActQuant aq("aq", 2);  // levels {0, 1/3, 2/3, 1} * max
+    nn::Tensor x({4}, {0.1F, 0.5F, 0.9F, 1.0F});
+    const nn::Tensor y = aq.forward(x);
+    std::set<float> levels(y.storage().begin(), y.storage().end());
+    EXPECT_LE(levels.size(), 4u);
+}
+
+TEST(ActQuant, StraightThroughGradient) {
+    compress::ActQuant aq("aq", 4);
+    nn::Tensor x({3}, {0.2F, 0.4F, 0.6F});
+    (void)aq.forward(x);
+    nn::Tensor g({3}, {1.0F, 2.0F, 3.0F});
+    const nn::Tensor gx = aq.backward(g);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(gx[i], g[i]);
+}
+
+TEST(Surgery, PruningShrinksMacsAndKeepsForwardWorking) {
+    util::Rng rng(1);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    const std::int64_t before = g.total_macs();
+
+    std::unordered_map<std::string, double> preserve = {
+        {"Conv2", 0.5}, {"ConvB2", 0.5}, {"Conv3", 0.5},
+        {"Conv4", 0.5}, {"FC-B21", 0.5}, {"FC-B31", 0.5},
+    };
+    compress::apply_pruning(g, preserve);
+    EXPECT_LT(g.total_macs(), before);
+
+    nn::Tensor x = nn::Tensor::full({3, 16, 16}, 0.5F);
+    const auto logits = g.forward_all(x);
+    ASSERT_EQ(logits.size(), 3u);
+    for (const auto& l : logits) EXPECT_EQ(l.numel(), 10);
+}
+
+TEST(Surgery, NoRequestMeansNoChange) {
+    util::Rng rng(2);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    const std::int64_t before = g.total_macs();
+    const std::int64_t params_before = g.param_count();
+    compress::apply_pruning(g, {});
+    EXPECT_EQ(g.total_macs(), before);
+    EXPECT_EQ(g.param_count(), params_before);
+}
+
+TEST(Surgery, JunctionConsumersStayShapeConsistent) {
+    util::Rng rng(3);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    // Prune only one consumer at the Conv2 junction (ConvB2 wants 50 %,
+    // Conv3 keeps 100 %): union rule keeps all channels for Conv3.
+    compress::apply_pruning(g, {{"ConvB2", 0.5}});
+    nn::Tensor x = nn::Tensor::full({3, 16, 16}, 0.25F);
+    EXPECT_NO_THROW(g.forward_all(x));
+}
+
+TEST(Surgery, PrunedChannelsAreLeastImportant) {
+    util::Rng rng(4);
+    // Producer 1x1 conv with controlled weights, consumer demands 50 %.
+    nn::ExitGraph g({2, 4, 4});
+    auto conv_a = std::make_unique<nn::Conv2d>(2, 4, 1, 0, "A", rng);
+    auto conv_b = std::make_unique<nn::Conv2d>(4, 2, 1, 0, "B", rng);
+    // Make channels 1 and 3 of A's output clearly the most important for B.
+    conv_b->weight().fill(0.01F);
+    conv_b->weight().at(0, 1, 0, 0) = 5.0F;
+    conv_b->weight().at(1, 3, 0, 0) = 4.0F;
+    nn::Segment t0;
+    t0.push(std::move(conv_a));
+    nn::Segment b0;
+    b0.push(std::move(conv_b));
+    b0.push(std::make_unique<nn::Flatten>());
+    b0.push(std::make_unique<nn::Linear>(32, 2, "out", rng));
+    g.add_exit(std::move(t0), std::move(b0));
+
+    compress::apply_pruning(g, {{"B", 0.5}});
+    auto* pruned_a = dynamic_cast<nn::Conv2d*>(&g.trunk_segment(0).layer(0));
+    ASSERT_NE(pruned_a, nullptr);
+    EXPECT_EQ(pruned_a->out_channels(), 2);
+    auto* pruned_b = dynamic_cast<nn::Conv2d*>(&g.branch(0).layer(0));
+    ASSERT_NE(pruned_b, nullptr);
+    ASSERT_EQ(pruned_b->in_channels(), 2);
+    // The big weights (on original channels 1 and 3) must have survived.
+    EXPECT_EQ(pruned_b->weight().at(0, 0, 0, 0), 5.0F);
+    EXPECT_EQ(pruned_b->weight().at(1, 1, 0, 0), 4.0F);
+}
+
+TEST(Surgery, WeightQuantizationSnapsToGrid) {
+    util::Rng rng(5);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    compress::apply_weight_quantization(g, {{"Conv1", 2}});
+    auto* conv = dynamic_cast<nn::Conv2d*>(&g.trunk_segment(0).layer(0));
+    ASSERT_NE(conv, nullptr);
+    std::set<float> levels(conv->weight().storage().begin(),
+                           conv->weight().storage().end());
+    EXPECT_LE(levels.size(), 4u);  // 2 bits -> <= 4 levels
+}
+
+TEST(Surgery, QuantizationAt32BitsIsNoop) {
+    util::Rng rng(6);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    auto* conv = dynamic_cast<nn::Conv2d*>(&g.trunk_segment(0).layer(0));
+    const float before = conv->weight()[0];
+    compress::apply_weight_quantization(g, {{"Conv1", 32}});
+    EXPECT_EQ(conv->weight()[0], before);
+}
+
+TEST(Surgery, ActivationQuantizationTargetsNamedSlots) {
+    util::Rng rng(7);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    compress::apply_activation_quantization(g, {{"Conv1/aq", 3}});
+    auto* aq = dynamic_cast<compress::ActQuant*>(&g.trunk_segment(0).layer(2));
+    ASSERT_NE(aq, nullptr);
+    EXPECT_EQ(aq->bits(), 3);
+}
+
+TEST(Surgery, ApplyPolicyEndToEnd) {
+    util::Rng rng(8);
+    nn::ExitGraph g = core::build_tiny_graph(rng);
+    const auto desc = core::make_tiny_network_desc();
+    compress::Policy policy =
+        compress::Policy::uniform(desc.num_layers(), 0.5, 4, 6);
+    const std::int64_t before = g.total_macs();
+    compress::apply_policy(g, desc, policy);
+    EXPECT_LT(g.total_macs(), before);
+    nn::Tensor x = nn::Tensor::full({3, 16, 16}, 0.5F);
+    EXPECT_NO_THROW(g.forward_all(x));
+}
+
+TEST(Surgery, PaperGraphSurvivesReferencePolicy) {
+    util::Rng rng(9);
+    nn::ExitGraph g = core::build_paper_graph(rng);
+    const auto desc = core::make_paper_network_desc();
+    compress::apply_policy(g, desc, core::reference_nonuniform_policy());
+    nn::Tensor x = nn::Tensor::full({3, 32, 32}, 0.5F);
+    const auto logits = g.forward_all(x);
+    ASSERT_EQ(logits.size(), 3u);
+    for (const auto& l : logits) EXPECT_EQ(l.numel(), 10);
+    // Surgery reduces real MACs into the same ballpark as the analytic model
+    // (shared-keep junctions round differently; allow 15 %).
+    const double analytic = static_cast<double>(
+        compress::total_macs(desc, core::reference_nonuniform_policy()));
+    EXPECT_NEAR(static_cast<double>(g.total_macs()) / analytic, 1.0, 0.15);
+}
+
+}  // namespace

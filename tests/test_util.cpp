@@ -1,0 +1,294 @@
+// Unit tests for the util module: RNG, math, stats, CSV, table, contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace imx::util;
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+    EXPECT_THROW([] { IMX_EXPECTS(1 == 2); }(), ContractViolation);
+    EXPECT_NO_THROW([] { IMX_EXPECTS(1 == 1); }());
+    EXPECT_THROW([] { IMX_ENSURES(false); }(), ContractViolation);
+    EXPECT_THROW([] { IMX_ASSERT(false); }(), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesExpressionAndLocation) {
+    try {
+        IMX_EXPECTS(2 + 2 == 5);
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+        EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(*seen.begin(), 2);
+    EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+    Rng rng(17);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(2.0));
+    EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalProportionalToWeights) {
+    Rng rng(19);
+    std::vector<double> weights = {1.0, 3.0};
+    int ones = 0;
+    for (int i = 0; i < 20000; ++i) {
+        ones += rng.categorical(weights) == 1 ? 1 : 0;
+    }
+    EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+    Rng rng(1);
+    std::vector<double> empty;
+    EXPECT_THROW((void)rng.categorical(empty), ContractViolation);
+    std::vector<double> zeros = {0.0, 0.0};
+    EXPECT_THROW((void)rng.categorical(zeros), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(23);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(29);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(MathTest, SoftmaxSumsToOne) {
+    std::vector<double> logits = {1.0, 2.0, 3.0, -1.0};
+    const auto p = softmax(logits);
+    double sum = 0.0;
+    for (const double x : p) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_GT(p[2], p[1]);
+    EXPECT_GT(p[1], p[0]);
+}
+
+TEST(MathTest, SoftmaxStableForLargeLogits) {
+    std::vector<double> logits = {1000.0, 1001.0};
+    const auto p = softmax(logits);
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+    EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(MathTest, EntropyUniformIsLogN) {
+    std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+    EXPECT_NEAR(entropy(p), std::log(4.0), 1e-12);
+    EXPECT_NEAR(normalized_entropy(p), 1.0, 1e-12);
+}
+
+TEST(MathTest, EntropyDeterministicIsZero) {
+    std::vector<double> p = {1.0, 0.0, 0.0};
+    EXPECT_NEAR(entropy(p), 0.0, 1e-12);
+    EXPECT_NEAR(normalized_entropy(p), 0.0, 1e-12);
+}
+
+TEST(MathTest, ArgmaxFirstOfTies) {
+    EXPECT_EQ(argmax({1.0, 3.0, 3.0, 2.0}), 1u);
+}
+
+TEST(MathTest, SigmoidSymmetry) {
+    EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(sigmoid(3.0) + sigmoid(-3.0), 1.0, 1e-12);
+    EXPECT_FALSE(std::isnan(sigmoid(-1000.0)));
+    EXPECT_FALSE(std::isnan(sigmoid(1000.0)));
+}
+
+TEST(MathTest, ClampAndLerp) {
+    EXPECT_EQ(clamp(5, 0, 3), 3);
+    EXPECT_EQ(clamp(-1, 0, 3), 0);
+    EXPECT_EQ(clamp(2, 0, 3), 2);
+    EXPECT_NEAR(lerp(0.0, 10.0, 0.25), 2.5, 1e-12);
+}
+
+TEST(MathTest, KahanSumAccurate) {
+    std::vector<double> values(100000, 0.1);
+    EXPECT_NEAR(kahan_sum(values), 10000.0, 1e-9);
+}
+
+TEST(Stats, RunningStatsMatchesNaive) {
+    Rng rng(31);
+    RunningStats stats;
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-5.0, 9.0);
+        stats.add(v);
+        values.push_back(v);
+    }
+    EXPECT_NEAR(stats.mean(), mean(values), 1e-9);
+    EXPECT_NEAR(stats.stddev(), stddev(values), 1e-9);
+    EXPECT_EQ(stats.count(), 1000u);
+}
+
+TEST(Stats, MergeEqualsCombinedStream) {
+    Rng rng(37);
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        (i % 2 == 0 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, QuantileInterpolates) {
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(quantile(v, 1.0), 4.0, 1e-12);
+    EXPECT_NEAR(quantile(v, 0.5), 2.5, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    for (double& y : ys) y = -y;
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, EmaConvergesToConstant) {
+    Ema ema(0.5);
+    EXPECT_FALSE(ema.initialized());
+    ema.update(10.0);
+    EXPECT_NEAR(ema.value(), 10.0, 1e-12);  // first sample initializes
+    for (int i = 0; i < 50; ++i) ema.update(4.0);
+    EXPECT_NEAR(ema.value(), 4.0, 1e-9);
+}
+
+TEST(Csv, ParseWithHeader) {
+    const auto t = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+    ASSERT_EQ(t.header.size(), 3u);
+    ASSERT_EQ(t.rows.size(), 2u);
+    EXPECT_EQ(t.column_index("b"), 1u);
+    const auto col = t.numeric_column("c");
+    EXPECT_EQ(col, (std::vector<double>{3.0, 6.0}));
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+    const auto t = parse_csv("# comment\nx,y\n\n1,2\n");
+    EXPECT_EQ(t.rows.size(), 1u);
+}
+
+TEST(Csv, MissingColumnThrows) {
+    const auto t = parse_csv("a,b\n1,2\n");
+    EXPECT_THROW((void)t.column_index("zz"), std::out_of_range);
+}
+
+TEST(Csv, WriterRoundTrip) {
+    const std::string path = "/tmp/imx_csv_test.csv";
+    {
+        CsvWriter w(path);
+        w.write_header({"time_s", "power_mw"});
+        w.write_row(std::vector<double>{0.0, 1.5});
+        w.write_row(std::vector<double>{1.0, 2.5});
+    }
+    const auto t = read_csv(path);
+    EXPECT_EQ(t.rows.size(), 2u);
+    EXPECT_NEAR(t.numeric_column("power_mw")[1], 2.5, 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row_numeric("beta", {2.5}, 1);
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(TableTest, BarScalesWithValue) {
+    EXPECT_EQ(bar(10.0, 10.0, 10), std::string(10, '#'));
+    const std::string half = bar(5.0, 10.0, 10);
+    EXPECT_EQ(half.substr(0, 5), "#####");
+    EXPECT_EQ(half.substr(5), std::string(5, ' '));
+}
+
+}  // namespace
