@@ -1,29 +1,102 @@
-// Shared helpers for the figure-reproduction benches: canonical setup,
-// simulation runners, and paper-vs-measured table formatting.
+// Shared helpers for the figure-reproduction benches.
+//
+// The simulation runners are thin wrappers over the exp:: sweep engine's
+// scenario functions (replica 0 = the canonical single-run semantics every
+// figure has always printed). Benches that compare several systems build a
+// exp::PaperSweep instead and fan it out over the thread-pool runner; the
+// helpers here cover single-system callers (fig7a, ablations) and the
+// common CLI surface (--quick, --replicas, --threads, --csv).
 #ifndef IMX_BENCH_COMMON_HPP
 #define IMX_BENCH_COMMON_HPP
 
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
-#include "baselines/baseline_models.hpp"
 #include "core/accuracy_model.hpp"
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
 #include "core/runtime.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/cli.hpp"
+#include "exp/paper_scenarios.hpp"
+#include "exp/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 
 namespace imx::bench {
 
+/// Common bench CLI: [--quick] [--replicas N] [--threads N] [--csv PATH].
+using BenchOptions = exp::SweepCli;
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+    return exp::parse_sweep_cli(argc, argv);
+}
+
+/// Canonical setup config, shrunk proportionally in quick mode (same
+/// harvest-per-second density as the full run) so smoke runs exercise the
+/// full pipeline in seconds.
+inline core::SetupConfig bench_setup_config(const BenchOptions& options) {
+    core::SetupConfig config;
+    if (options.quick) {
+        const double quick_duration_s = 4000.0;
+        config.total_harvest_mj *= quick_duration_s / config.duration_s;
+        config.duration_s = quick_duration_s;
+        config.event_count = 150;
+    }
+    return config;
+}
+
+/// Q-learning training episodes for the bench (reduced in quick mode).
+inline int bench_episodes(const BenchOptions& options, int full_default) {
+    return options.quick ? 4 : full_default;
+}
+
+/// Run the sweep, write the optional CSV, and return (specs-parallel)
+/// outcomes.
+inline std::vector<exp::ScenarioOutcome> run_and_report(
+    const std::vector<exp::ScenarioSpec>& specs, const BenchOptions& options) {
+    exp::RunnerConfig runner;
+    runner.threads = options.threads;
+    auto outcomes = exp::run_sweep(specs, runner);
+    if (!options.csv.empty()) {
+        // A bad path must not lose the sweep results that follow.
+        try {
+            exp::write_aggregate_csv(options.csv,
+                                     exp::aggregate(specs, outcomes));
+            std::printf("aggregate CSV written to %s\n", options.csv.c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "warning: %s\n", e.what());
+        }
+    }
+    return outcomes;
+}
+
+/// The replica-0 simulation result for a scenario group (the canonical run
+/// every figure table is built from).
+inline const sim::SimResult& canonical_sim(
+    const std::vector<exp::ScenarioSpec>& specs,
+    const std::vector<exp::ScenarioOutcome>& outcomes,
+    const std::string& group) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].group == group && specs[i].replica == 0 &&
+            outcomes[i].sim.has_value()) {
+            return *outcomes[i].sim;
+        }
+    }
+    std::fprintf(stderr, "no canonical sim result for group %s\n",
+                 group.c_str());
+    std::abort();
+}
+
 /// Run our deployed network under the static LUT policy.
 inline sim::SimResult run_ours_static(const core::ExperimentSetup& setup) {
-    core::OracleInferenceModel model(setup.network, setup.deployed_policy,
-                                     setup.exit_accuracy);
-    sim::GreedyAffordablePolicy policy;
-    sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
-    return simulator.run(setup.events, model, policy);
+    exp::SystemSpec system{"ours-static", exp::SystemKind::kOursStatic, 0, {}};
+    return *exp::run_system_scenario(setup, system, exp::ScenarioContext{})
+                .sim;
 }
 
 /// Train a Q-learning policy for `episodes` runs, then evaluate greedily on
@@ -34,29 +107,11 @@ inline sim::SimResult run_ours_qlearning(const core::ExperimentSetup& setup,
                                          std::vector<double>* learning_curve =
                                              nullptr,
                                          core::RuntimeConfig runtime_cfg = {}) {
-    core::OracleInferenceModel model(setup.network, setup.deployed_policy,
-                                     setup.exit_accuracy);
-    core::QLearningExitPolicy policy(setup.network.num_exits, runtime_cfg);
-    sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
-    for (int ep = 0; ep < episodes; ++ep) {
-        const auto events = sim::generate_events(
-            {static_cast<int>(setup.events.size()), setup.trace.duration(),
-             sim::ArrivalKind::kUniform, 2000 + static_cast<std::uint64_t>(ep)});
-        const auto r = simulator.run(events, model, policy);
-        if (learning_curve != nullptr) {
-            learning_curve->push_back(100.0 * r.accuracy_all_events());
-        }
-    }
-    policy.set_eval_mode(true);
-    return simulator.run(setup.events, model, policy);
-}
-
-/// Run a fixed single-exit baseline on the checkpointed (SONIC-style) runtime.
-inline sim::SimResult run_baseline(const core::ExperimentSetup& setup,
-                                   baselines::FixedBaselineModel model) {
-    sim::GreedyAffordablePolicy policy;
-    sim::Simulator simulator(setup.trace, setup.checkpointed_sim);
-    return simulator.run(setup.events, model, policy);
+    exp::SystemSpec system{"ours-qlearning", exp::SystemKind::kOursQLearning,
+                           episodes, runtime_cfg};
+    return *exp::run_system_scenario(setup, system, exp::ScenarioContext{},
+                                     learning_curve)
+                .sim;
 }
 
 /// "measured (paper X)" cell.

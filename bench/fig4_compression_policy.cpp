@@ -1,33 +1,44 @@
 // Reproduces Fig. 4: the layer-wise preserve ratio and weight-bitwidth
 // allocation found by the power-trace-aware two-agent DDPG search (with
-// local refinement) under the 1.15 MFLOP / 16 KB constraints.
+// local refinement) under the 1.15 MFLOP / 16 KB constraints. The search
+// runs as a single scenario through the exp:: engine (the degenerate
+// one-scenario sweep), with the full SearchResult returned via the outcome
+// payload.
+//
+// Usage: bench_fig4_compression_policy [episodes] [--quick] [--replicas N]
+//                                      [--threads N] [--csv PATH]
+#include <any>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/search.hpp"
-#include "core/trace_eval.hpp"
 
 using namespace imx;
 
 int main(int argc, char** argv) {
-    const int episodes = argc > 1 ? std::atoi(argv[1]) : 300;
+    const auto options = bench::parse_bench_options(argc, argv);
+    // An explicit positional episode count always wins over --quick.
+    const int episodes =
+        exp::positional_int(options, 0, options.quick ? 60 : 300);
 
-    const auto setup = core::make_paper_setup();
-    const auto& desc = setup.network;
-    const core::AccuracyModel oracle(
-        desc, {core::kPaperFullPrecisionAcc.begin(),
-               core::kPaperFullPrecisionAcc.end()});
-    const core::StaticTraceEvaluator trace_eval(
-        setup.trace, setup.events, core::paper_storage_config(),
-        core::kEnergyPerMMacMj);
-    const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
-                                          core::paper_constraints(), true);
+    const auto setup = std::make_shared<const core::ExperimentSetup>(
+        core::make_paper_setup(bench::bench_setup_config(options)));
+    const auto& desc = setup->network;
 
     core::SearchConfig cfg;
     cfg.episodes = episodes;
-    core::CompressionSearch search(evaluator, cfg);
-    const auto result = search.run_ddpg_refined();
+    std::vector<exp::ScenarioSpec> specs;
+    for (int replica = 0; replica < options.replicas; ++replica) {
+        specs.push_back(exp::make_search_scenario(
+            setup, exp::SearchAlgo::kDdpgRefined, "ddpg-refined", cfg,
+            replica));
+    }
+    const auto outcomes = bench::run_and_report(specs, options);
+    // The canonical (replica 0) policy feeds the Fig. 4 tables below.
+    const auto result =
+        std::any_cast<core::SearchResult>(outcomes.front().payload);
 
     if (!result.found_feasible) {
         std::printf("search found no feasible policy (unexpected)\n");
@@ -47,6 +58,9 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
+    const core::AccuracyModel oracle(
+        desc, {core::kPaperFullPrecisionAcc.begin(),
+               core::kPaperFullPrecisionAcc.end()});
     const auto acc = oracle.exit_accuracy(policy);
     std::printf(
         "\nsearched policy: Racc %.4f | exits %.1f / %.1f / %.1f %% | "
@@ -75,5 +89,14 @@ int main(int argc, char** argv) {
         "FC-B31=%d bits (paper: 1)\n",
         conv_bits / conv_count, fc_b21_bits, fc_b31_bits);
     std::printf("search evaluations: %d\n", result.evaluations);
+
+    if (options.replicas > 1) {
+        std::printf("\n");
+        exp::aggregate_table(exp::aggregate(specs, outcomes),
+                             {"best_racc", "evaluations", "feasible",
+                              "total_macs_m", "model_kb"},
+                             "search seed-replica aggregation (mean ± 95% CI)")
+            .print(std::cout);
+    }
     return 0;
 }

@@ -1,6 +1,10 @@
 // Reproduces Fig. 5 and the Sec. V-C accuracy rows: interesting events per
 // harvested millijoule (IEpmJ) plus all-event / processed-event accuracy for
-// ours vs SonicNet, SpArSeNet, and LeNet-Cifar.
+// ours vs SonicNet, SpArSeNet, and LeNet-Cifar. The four systems run as one
+// parallel sweep through the exp:: engine; with --replicas N the bench also
+// prints mean ± 95% CI over independent seed replicas.
+//
+// Usage: bench_fig5_iepmj [--quick] [--replicas N] [--threads N] [--csv PATH]
 #include <cstdio>
 #include <iostream>
 
@@ -8,54 +12,80 @@
 
 using namespace imx;
 
-int main() {
-    const auto setup = core::make_paper_setup();
+int main(int argc, char** argv) {
+    const auto options = bench::parse_bench_options(argc, argv);
+    exp::require_no_positional(options);
 
-    const auto ours = bench::run_ours_qlearning(setup, 16);
-    const auto sonic = bench::run_baseline(setup, baselines::make_sonic_net());
-    const auto sparse = bench::run_baseline(setup, baselines::make_sparse_net());
-    const auto lenet = bench::run_baseline(setup, baselines::make_lenet_cifar());
+    exp::PaperSweep sweep;
+    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
+    sweep.systems = exp::paper_systems(bench::bench_episodes(options, 16));
+    sweep.replicas = options.replicas;
+    const auto specs = exp::build_paper_scenarios(sweep);
+    const auto outcomes = bench::run_and_report(specs, options);
+    const std::string prefix = sweep.traces[0].label + "/";
 
     struct Row {
         const char* name;
-        const sim::SimResult* r;
         double paper_iepmj;
         double paper_acc_all;
         double paper_acc_proc;
     };
     const Row rows[] = {
-        {"Our Approach", &ours, 0.89, 50.1, 65.4},
-        {"SonicNet", &sonic, 0.25, 14.0, 75.4},
-        {"SpArSeNet", &sparse, 0.05, 2.6, 82.7},
-        {"LeNet-Cifar", &lenet, 0.70, 39.2, 74.7},
+        {"Our Approach", 0.89, 50.1, 65.4},
+        {"SonicNet", 0.25, 14.0, 75.4},
+        {"SpArSeNet", 0.05, 2.6, 82.7},
+        {"LeNet-Cifar", 0.70, 39.2, 74.7},
     };
 
     util::Table table("Fig. 5 — IEpmJ and Sec. V-C accuracy, measured (paper)");
     table.header({"system", "IEpmJ", "acc all events %", "acc processed %",
-                  "processed/500"});
+                  "processed/" + std::to_string(sweep.traces[0].config.event_count)});
     for (const Row& row : rows) {
+        const auto& r = bench::canonical_sim(specs, outcomes,
+                                             prefix + row.name);
         table.row({row.name,
-                   bench::vs_paper(row.r->iepmj(), row.paper_iepmj),
-                   bench::vs_paper(100.0 * row.r->accuracy_all_events(),
+                   bench::vs_paper(r.iepmj(), row.paper_iepmj),
+                   bench::vs_paper(100.0 * r.accuracy_all_events(),
                                    row.paper_acc_all, 1),
-                   bench::vs_paper(100.0 * row.r->accuracy_processed(),
+                   bench::vs_paper(100.0 * r.accuracy_processed(),
                                    row.paper_acc_proc, 1),
-                   std::to_string(row.r->processed_count())});
+                   std::to_string(r.processed_count())});
     }
     table.print(std::cout);
 
     std::cout << "\nIEpmJ bars:\n";
     for (const Row& row : rows) {
+        const auto& r = bench::canonical_sim(specs, outcomes,
+                                             prefix + row.name);
         std::printf("%-12s |%s| %.3f\n", row.name,
-                    util::bar(row.r->iepmj(), 1.0, 40).c_str(), row.r->iepmj());
+                    util::bar(r.iepmj(), 1.0, 40).c_str(), r.iepmj());
     }
 
+    const auto& ours = bench::canonical_sim(specs, outcomes,
+                                            prefix + "Our Approach");
+    const auto& sonic = bench::canonical_sim(specs, outcomes,
+                                             prefix + "SonicNet");
+    const auto& sparse = bench::canonical_sim(specs, outcomes,
+                                              prefix + "SpArSeNet");
+    const auto& lenet = bench::canonical_sim(specs, outcomes,
+                                             prefix + "LeNet-Cifar");
     std::printf(
         "\nimprovement factors (IEpmJ): ours/Sonic %.1fx (paper 3.6x), "
         "ours/SpArSe %.1fx (paper 18.9x), ours/LeNet %.2fx (paper 1.28x)\n",
         ours.iepmj() / sonic.iepmj(), ours.iepmj() / sparse.iepmj(),
         ours.iepmj() / lenet.iepmj());
-    std::printf("harvested energy over the run: %.1f mJ across %zu events\n",
-                setup.trace.total_energy(), setup.events.size());
+    std::printf("harvested energy over the run: %.1f mJ across %d events\n",
+                ours.total_harvested_mj, ours.total_events());
+
+    if (options.replicas > 1) {
+        std::cout << '\n';
+        exp::aggregate_table(exp::aggregate(specs, outcomes),
+                             {"iepmj", "acc_all_pct", "acc_processed_pct",
+                              "processed"},
+                             "seed-replica aggregation (mean ± 95% CI, " +
+                                 std::to_string(options.replicas) +
+                                 " replicas)")
+            .print(std::cout);
+    }
     return 0;
 }

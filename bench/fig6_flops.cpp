@@ -1,19 +1,28 @@
 // Reproduces Fig. 6: per-exit FLOPs before/after nonuniform compression
 // (with the reduction ratio annotations) and the baselines' FLOPs, plus the
-// per-inference average comparison the paper derives from it.
+// per-inference average comparison the paper derives from it. The learned
+// runtime runs through the exp:: sweep engine (a single-system sweep, so
+// --replicas N turns the "Aver." bar into a mean over seed replicas).
+//
+// Usage: bench_fig6_flops [--quick] [--replicas N] [--threads N] [--csv PATH]
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 
 using namespace imx;
 
-int main() {
-    const auto setup = core::make_paper_setup();
-    const auto& desc = setup.network;
+int main(int argc, char** argv) {
+    const auto options = bench::parse_bench_options(argc, argv);
+    exp::require_no_positional(options);
+    // Built once, shared with the sweep below via TraceSpec::prebuilt.
+    const auto setup = std::make_shared<const core::ExperimentSetup>(
+        core::make_paper_setup(bench::bench_setup_config(options)));
+    const auto& desc = setup->network;
     const auto full = compress::Policy::full_precision(desc.num_layers());
     const auto before = compress::per_exit_macs(desc, full);
-    const auto after = compress::per_exit_macs(desc, setup.deployed_policy);
+    const auto after = compress::per_exit_macs(desc, setup->deployed_policy);
 
     const double paper_ratio[3] = {0.67, 0.44, 0.31};
 
@@ -35,9 +44,17 @@ int main() {
     table.print(std::cout);
 
     // Per-inference FLOPs average under the learned runtime (the paper's
-    // "Aver." bar and the 4.1x / 23.2x / 0.46x annotations).
-    const auto ours = bench::run_ours_qlearning(setup, 16);
-    const double avg_macs = ours.mean_inference_macs();
+    // "Aver." bar and the 4.1x / 23.2x / 0.46x annotations), via the engine.
+    exp::PaperSweep sweep;
+    sweep.traces = {{"paper-solar", {}, setup}};
+    sweep.systems = {{"Our Approach", exp::SystemKind::kOursQLearning,
+                      bench::bench_episodes(options, 16), {}}};
+    sweep.replicas = options.replicas;
+    const auto specs = exp::build_paper_scenarios(sweep);
+    const auto outcomes = bench::run_and_report(specs, options);
+    const auto groups = exp::aggregate(specs, outcomes);
+    const double avg_macs =
+        groups.front().metrics.at("inference_macs_m").mean * 1e6;
     std::printf(
         "\nmean per-inference FLOPs (ours, learned runtime): %.3fM\n",
         avg_macs / 1e6);

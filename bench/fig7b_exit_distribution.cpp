@@ -1,6 +1,10 @@
 // Reproduces Fig. 7b: the number (and percentage) of processed events
 // exiting at each of the three exits, for the learned Q-policy vs the static
-// LUT, plus the extra processed events the adaptation buys.
+// LUT, plus the extra processed events the adaptation buys. Both variants
+// run as one parallel sweep through the exp:: engine.
+//
+// Usage: bench_fig7b_exit_distribution [--quick] [--replicas N] [--threads N]
+//                                      [--csv PATH]
 #include <cstdio>
 #include <iostream>
 
@@ -8,12 +12,25 @@
 
 using namespace imx;
 
-int main() {
-    const auto setup = core::make_paper_setup();
-    const int n = static_cast<int>(setup.events.size());
+int main(int argc, char** argv) {
+    const auto options = bench::parse_bench_options(argc, argv);
+    exp::require_no_positional(options);
 
-    const auto lut = bench::run_ours_static(setup);
-    const auto learned = bench::run_ours_qlearning(setup, 16);
+    exp::PaperSweep sweep;
+    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
+    sweep.systems = {{"Q-learning", exp::SystemKind::kOursQLearning,
+                      bench::bench_episodes(options, 16), {}},
+                     {"static LUT", exp::SystemKind::kOursStatic, 0, {}}};
+    sweep.replicas = options.replicas;
+    const auto specs = exp::build_paper_scenarios(sweep);
+    const auto outcomes = bench::run_and_report(specs, options);
+    const std::string prefix = sweep.traces[0].label + "/";
+
+    const auto& learned = bench::canonical_sim(specs, outcomes,
+                                               prefix + "Q-learning");
+    const auto& lut = bench::canonical_sim(specs, outcomes,
+                                           prefix + "static LUT");
+    const int n = learned.total_events();
 
     const auto hist_q = learned.exit_histogram(3);
     const auto hist_lut = lut.exit_histogram(3);
@@ -45,5 +62,15 @@ int main() {
         "learned policy shifts toward the cheap exit (paper Fig. 7b)\n",
         100.0 * hist_q[0] / learned.processed_count(),
         100.0 * hist_lut[0] / lut.processed_count());
+
+    if (options.replicas > 1) {
+        std::cout << '\n';
+        exp::aggregate_table(exp::aggregate(specs, outcomes),
+                             {"processed", "acc_all_pct", "iepmj"},
+                             "seed-replica aggregation (mean ± 95% CI, " +
+                                 std::to_string(options.replicas) +
+                                 " replicas)")
+            .print(std::cout);
+    }
     return 0;
 }

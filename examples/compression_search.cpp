@@ -1,38 +1,62 @@
 // Example: phase-1 of the paper — power-trace-aware, exit-guided nonuniform
 // compression search with two DDPG agents, compared against random search
-// and simulated annealing under the same evaluation budget.
+// and simulated annealing under the same evaluation budget. The four
+// algorithms run concurrently as one sweep through the exp:: engine; each
+// scenario rebuilds its own evaluator stack, so results are identical to
+// the old serial runs regardless of thread count.
 //
-// Usage: example_compression_search [episodes]
+// Usage: example_compression_search [episodes] [--quick] [--threads N]
+#include <any>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/accuracy_model.hpp"
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/search.hpp"
 #include "core/trace_eval.hpp"
+#include "exp/cli.hpp"
+#include "exp/paper_scenarios.hpp"
+#include "exp/runner.hpp"
 #include "util/table.hpp"
 
 using namespace imx;
 
 int main(int argc, char** argv) {
-    const int episodes = argc > 1 ? std::atoi(argv[1]) : 300;
+    const auto cli = exp::parse_sweep_cli(argc, argv);
+    if (cli.replicas != 1 || !cli.csv.empty()) {
+        std::fprintf(stderr,
+                     "error: --replicas/--csv are not supported by this "
+                     "example (see the bench_* binaries)\n");
+        return 2;
+    }
+    const int episodes = exp::positional_int(cli, 0, cli.quick ? 60 : 300);
 
-    const auto setup = core::make_paper_setup();
-    const auto& desc = setup.network;
+    const auto setup = std::make_shared<const core::ExperimentSetup>(
+        core::make_paper_setup());
+    const auto& desc = setup->network;
     const core::AccuracyModel oracle(
         desc, {core::kPaperFullPrecisionAcc.begin(),
                core::kPaperFullPrecisionAcc.end()});
-    const core::StaticTraceEvaluator trace_eval(
-        setup.trace, setup.events, core::paper_storage_config(),
-        core::kEnergyPerMMacMj);
-    const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
-                                          core::paper_constraints(),
-                                          /*trace_aware=*/true);
 
     core::SearchConfig cfg;
     cfg.episodes = episodes;
-    core::CompressionSearch search(evaluator, cfg);
+
+    const std::vector<std::pair<const char*, exp::SearchAlgo>> algos = {
+        {"DDPG", exp::SearchAlgo::kDdpg},
+        {"DDPG+ref", exp::SearchAlgo::kDdpgRefined},
+        {"random", exp::SearchAlgo::kRandom},
+        {"annealing", exp::SearchAlgo::kAnnealing},
+    };
+    std::vector<exp::ScenarioSpec> specs;
+    specs.reserve(algos.size());
+    for (const auto& [label, algo] : algos) {
+        specs.push_back(exp::make_search_scenario(setup, algo, label, cfg));
+    }
 
     auto report = [&](const char* tag, const core::SearchResult& r) {
         std::printf("%-10s evals %4d feasible %s best Racc %.4f\n", tag,
@@ -55,15 +79,24 @@ int main(int argc, char** argv) {
         std::printf("%s", t.to_string().c_str());
     };
 
-    // Reference points.
+    // Reference points (evaluated inline; cheap relative to the searches).
+    const core::StaticTraceEvaluator trace_eval(
+        setup->trace, setup->events, core::paper_storage_config(),
+        core::kEnergyPerMMacMj);
+    const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
+                                          core::paper_constraints(),
+                                          /*trace_aware=*/true);
     const auto uniform_score = evaluator.score(core::uniform_baseline_policy());
     const auto ref_score = evaluator.score(core::reference_nonuniform_policy());
     std::printf("uniform baseline Racc %.4f | reference nonuniform Racc %.4f\n",
                 uniform_score.racc, ref_score.racc);
 
-    report("DDPG", search.run_ddpg());
-    report("DDPG+ref", search.run_ddpg_refined());
-    report("random", search.run_random());
-    report("annealing", search.run_annealing());
+    exp::RunnerConfig runner;
+    runner.threads = cli.threads;
+    const auto outcomes = exp::run_sweep(specs, runner);
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+        report(algos[i].first,
+               std::any_cast<const core::SearchResult&>(outcomes[i].payload));
+    }
     return 0;
 }

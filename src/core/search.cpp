@@ -167,8 +167,12 @@ SearchResult CompressionSearch::run_ddpg() {
             std::vector<double> ap;
             std::vector<double> aq;
             if (warmup) {
-                ap = {warmup_rng.uniform()};
-                aq = {warmup_rng.uniform(), warmup_rng.uniform()};
+                // push_back instead of initializer-list assign: keeps the RNG
+                // draw order identical and sidesteps a GCC 12 -Wnonnull false
+                // positive on vector assignment at -O3.
+                ap.push_back(warmup_rng.uniform());
+                aq.push_back(warmup_rng.uniform());
+                aq.push_back(warmup_rng.uniform());
             } else {
                 ap = prune_agent.act_noisy(obs);
                 aq = quant_agent.act_noisy(obs);

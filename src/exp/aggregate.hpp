@@ -1,0 +1,54 @@
+// Aggregation and reporting over sweep outcomes: fold seed replicas of each
+// scenario group into mean / stddev / 95% CI per metric, then emit the
+// result as an aligned table or CSV. Accumulation walks specs in index
+// order, so aggregates inherit the runner's thread-count invariance.
+#ifndef IMX_EXP_AGGREGATE_HPP
+#define IMX_EXP_AGGREGATE_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "util/table.hpp"
+
+namespace imx::exp {
+
+/// Replica statistics of one metric within a group.
+struct MetricStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample stddev (n-1); 0 for n < 2
+    double ci95 = 0.0;    ///< 1.96 * stddev / sqrt(n), normal approximation
+    double min = 0.0;
+    double max = 0.0;
+};
+
+struct GroupAggregate {
+    std::string group;
+    std::map<std::string, std::string> dims;  ///< from the first member spec
+    std::size_t replicas = 0;
+    std::map<std::string, MetricStats> metrics;
+};
+
+/// Group outcomes by spec.group (first-appearance order) and reduce every
+/// metric over the group's replicas. specs and outcomes must be parallel
+/// vectors as returned by run_sweep().
+std::vector<GroupAggregate> aggregate(const std::vector<ScenarioSpec>& specs,
+                                      const std::vector<ScenarioOutcome>& outcomes);
+
+/// Render groups x selected metrics as "mean ± ci95" cells (plain mean when
+/// there is a single replica).
+util::Table aggregate_table(const std::vector<GroupAggregate>& groups,
+                            const std::vector<std::string>& metric_names,
+                            const std::string& title);
+
+/// Write one row per group with mean/stddev/ci95/min/max columns for every
+/// metric present in any group.
+void write_aggregate_csv(const std::string& path,
+                         const std::vector<GroupAggregate>& groups);
+
+}  // namespace imx::exp
+
+#endif  // IMX_EXP_AGGREGATE_HPP

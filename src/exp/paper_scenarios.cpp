@@ -1,0 +1,235 @@
+#include "exp/paper_scenarios.hpp"
+
+#include <utility>
+
+#include "baselines/baseline_models.hpp"
+#include "compress/fit.hpp"
+#include "core/multi_exit_spec.hpp"
+#include "core/oracle_model.hpp"
+#include "core/trace_eval.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace imx::exp {
+
+namespace {
+
+/// Training-episode event seeds: the canonical 2000+ep stream for replica 0
+/// (bit-compatible with the historical bench behaviour), a scenario-seed
+/// derived stream otherwise.
+std::uint64_t train_seed(const ScenarioContext& ctx, int episode) {
+    if (ctx.replica == 0) return 2000 + static_cast<std::uint64_t>(episode);
+    std::uint64_t state = ctx.seed ^ 0x7261696eULL;  // "rain"
+    (void)util::splitmix64(state);
+    state += static_cast<std::uint64_t>(episode);
+    return util::splitmix64(state);
+}
+
+baselines::FixedBaselineModel make_baseline(SystemKind kind) {
+    switch (kind) {
+        case SystemKind::kSonicNet:
+            return baselines::make_sonic_net();
+        case SystemKind::kSpArSeNet:
+            return baselines::make_sparse_net();
+        default:
+            return baselines::make_lenet_cifar();
+    }
+}
+
+ScenarioOutcome outcome_from(sim::SimResult result) {
+    ScenarioOutcome outcome;
+    outcome.metrics = sim_metrics(result);
+    outcome.sim = std::move(result);
+    return outcome;
+}
+
+}  // namespace
+
+std::vector<SystemSpec> paper_systems(int train_episodes) {
+    std::vector<SystemSpec> systems;
+    systems.push_back(
+        {"Our Approach", SystemKind::kOursQLearning, train_episodes, {}});
+    systems.push_back({"SonicNet", SystemKind::kSonicNet, 0, {}});
+    systems.push_back({"SpArSeNet", SystemKind::kSpArSeNet, 0, {}});
+    systems.push_back({"LeNet-Cifar", SystemKind::kLeNetCifar, 0, {}});
+    return systems;
+}
+
+std::vector<SystemSpec> paper_systems_with_static(int train_episodes) {
+    auto systems = paper_systems(train_episodes);
+    systems.insert(systems.begin() + 1,
+                   {"Ours (static LUT)", SystemKind::kOursStatic, 0, {}});
+    return systems;
+}
+
+ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
+                                    const SystemSpec& system,
+                                    const ScenarioContext& ctx,
+                                    std::vector<double>* learning_curve) {
+    // Replica 0 evaluates on the canonical event schedule; later replicas
+    // draw an independent arrival stream over the same trace.
+    std::vector<sim::Event> events = setup.events;
+    if (ctx.replica != 0) {
+        std::uint64_t state = ctx.seed ^ 0x6576656eULL;  // "even"
+        events = sim::generate_events({static_cast<int>(setup.events.size()),
+                                       setup.trace.duration(),
+                                       sim::ArrivalKind::kUniform,
+                                       util::splitmix64(state)});
+    }
+
+    switch (system.kind) {
+        case SystemKind::kOursQLearning: {
+            core::OracleInferenceModel model(setup.network,
+                                             setup.deployed_policy,
+                                             setup.exit_accuracy);
+            core::RuntimeConfig runtime_cfg = system.runtime;
+            if (ctx.replica != 0) {
+                std::uint64_t state = ctx.seed ^ 0x71706f6cULL;  // "qpol"
+                runtime_cfg.seed = util::splitmix64(state);
+            }
+            core::QLearningExitPolicy policy(setup.network.num_exits,
+                                             runtime_cfg);
+            sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
+            for (int ep = 0; ep < system.train_episodes; ++ep) {
+                const auto train_events = sim::generate_events(
+                    {static_cast<int>(setup.events.size()),
+                     setup.trace.duration(), sim::ArrivalKind::kUniform,
+                     train_seed(ctx, ep)});
+                const auto r = simulator.run(train_events, model, policy);
+                if (learning_curve != nullptr) {
+                    learning_curve->push_back(100.0 * r.accuracy_all_events());
+                }
+            }
+            policy.set_eval_mode(true);
+            return outcome_from(simulator.run(events, model, policy));
+        }
+        case SystemKind::kOursStatic: {
+            core::OracleInferenceModel model(setup.network,
+                                             setup.deployed_policy,
+                                             setup.exit_accuracy);
+            sim::GreedyAffordablePolicy policy;
+            sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
+            return outcome_from(simulator.run(events, model, policy));
+        }
+        default: {
+            auto model = make_baseline(system.kind);
+            sim::GreedyAffordablePolicy policy;
+            sim::Simulator simulator(setup.trace, setup.checkpointed_sim);
+            return outcome_from(simulator.run(events, model, policy));
+        }
+    }
+}
+
+std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep) {
+    const auto systems =
+        sweep.systems.empty() ? paper_systems() : sweep.systems;
+    const auto patches =
+        sweep.patches.empty() ? std::vector<SimPatch>{SimPatch{}} : sweep.patches;
+
+    std::vector<ScenarioSpec> specs;
+    for (const auto& trace_spec : sweep.traces) {
+        // One shared, immutable setup per trace; scenarios only read it.
+        auto base = trace_spec.prebuilt
+                        ? trace_spec.prebuilt
+                        : std::make_shared<const core::ExperimentSetup>(
+                              core::make_paper_setup(trace_spec.config));
+        for (const auto& patch : patches) {
+            // Apply the patch once per (trace, patch) cell; scenarios share
+            // the resulting immutable setup instead of copying it per run.
+            auto cell = base;
+            if (patch.apply) {
+                auto patched =
+                    std::make_shared<core::ExperimentSetup>(*base);
+                patch.apply(patched->multi_exit_sim);
+                patch.apply(patched->checkpointed_sim);
+                cell = std::move(patched);
+            }
+            for (const auto& system : systems) {
+                std::string group = trace_spec.label + "/" + system.label;
+                if (!patch.label.empty()) group += "/" + patch.label;
+                for (int replica = 0; replica < sweep.replicas; ++replica) {
+                    ScenarioSpec spec;
+                    spec.group = group;
+                    spec.id = group + "#" + std::to_string(replica);
+                    spec.dims = {{"trace", trace_spec.label},
+                                 {"system", system.label}};
+                    if (!patch.label.empty()) spec.dims["patch"] = patch.label;
+                    spec.replica = replica;
+                    spec.seed = scenario_seed(sweep.base_seed, group, replica);
+                    spec.run = [cell, system](const ScenarioContext& ctx) {
+                        return run_system_scenario(*cell, system, ctx);
+                    };
+                    specs.push_back(std::move(spec));
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+ScenarioSpec make_search_scenario(
+    std::shared_ptr<const core::ExperimentSetup> setup, SearchAlgo algo,
+    const std::string& label, const core::SearchConfig& config, int replica,
+    std::uint64_t base_seed) {
+    ScenarioSpec spec;
+    spec.group = "search/" + label;
+    spec.id = spec.group + "#" + std::to_string(replica);
+    spec.dims = {{"algo", label}};
+    spec.replica = replica;
+    spec.seed = scenario_seed(base_seed, spec.group, replica);
+    spec.run = [setup = std::move(setup), algo,
+                config](const ScenarioContext& ctx) -> ScenarioOutcome {
+        // The evaluator stack is rebuilt per scenario: PolicyEvaluator keeps
+        // raw pointers into it, so everything must share the run's lifetime.
+        const auto& desc = setup->network;
+        const core::AccuracyModel oracle(
+            desc, {core::kPaperFullPrecisionAcc.begin(),
+                   core::kPaperFullPrecisionAcc.end()});
+        const core::StaticTraceEvaluator trace_eval(
+            setup->trace, setup->events, core::paper_storage_config(),
+            core::kEnergyPerMMacMj);
+        const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
+                                              core::paper_constraints(),
+                                              config.trace_aware);
+
+        core::SearchConfig cfg = config;
+        if (ctx.replica != 0) {
+            std::uint64_t state = ctx.seed ^ 0x73726368ULL;  // "srch"
+            cfg.seed = util::splitmix64(state);
+        }
+        core::CompressionSearch search(evaluator, cfg);
+        core::SearchResult result;
+        switch (algo) {
+            case SearchAlgo::kDdpg:
+                result = search.run_ddpg();
+                break;
+            case SearchAlgo::kDdpgRefined:
+                result = search.run_ddpg_refined();
+                break;
+            case SearchAlgo::kRandom:
+                result = search.run_random();
+                break;
+            case SearchAlgo::kAnnealing:
+                result = search.run_annealing();
+                break;
+        }
+
+        ScenarioOutcome outcome;
+        outcome.metrics["best_racc"] = result.best_reward;
+        outcome.metrics["evaluations"] = result.evaluations;
+        outcome.metrics["feasible"] = result.found_feasible ? 1.0 : 0.0;
+        if (result.found_feasible) {
+            outcome.metrics["total_macs_m"] =
+                static_cast<double>(
+                    compress::total_macs(desc, result.best_policy)) /
+                1e6;
+            outcome.metrics["model_kb"] =
+                compress::model_bytes(desc, result.best_policy) / 1024.0;
+        }
+        outcome.payload = std::move(result);
+        return outcome;
+    };
+    return spec;
+}
+
+}  // namespace imx::exp

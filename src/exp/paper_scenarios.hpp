@@ -1,0 +1,107 @@
+// Declarative scenario registry for the paper's evaluation grid:
+// power trace x system (ours vs SONIC-style checkpointed baselines) x
+// sim-config patch x seed replica, anchored on the canonical setups from
+// core/experiment_setup. build_paper_scenarios() expands the grid into
+// self-contained ScenarioSpecs for the parallel runner.
+//
+// Replica semantics: replica 0 reproduces the canonical single-run numbers
+// the fig* benches have always printed (event seed 99, Q-learning training
+// schedules 2000+ep, runtime seed from RuntimeConfig); replicas >= 1 derive
+// fresh event-arrival and learning streams from the scenario seed, giving
+// independent samples for the mean/CI aggregation.
+#ifndef IMX_EXP_PAPER_SCENARIOS_HPP
+#define IMX_EXP_PAPER_SCENARIOS_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment_setup.hpp"
+#include "core/runtime.hpp"
+#include "core/search.hpp"
+#include "exp/scenario.hpp"
+
+namespace imx::exp {
+
+enum class SystemKind {
+    kOursQLearning,  ///< multi-exit runtime, learned exit policy
+    kOursStatic,     ///< multi-exit runtime, static greedy LUT
+    kSonicNet,       ///< checkpointed baselines [Gobieski et al.]
+    kSpArSeNet,
+    kLeNetCifar,
+};
+
+struct SystemSpec {
+    std::string label;
+    SystemKind kind = SystemKind::kOursQLearning;
+    int train_episodes = 16;            ///< Q-learning only
+    core::RuntimeConfig runtime = {};   ///< Q-learning only
+};
+
+struct TraceSpec {
+    TraceSpec() = default;
+    /// `prebuilt` is an optional already-constructed setup; when set,
+    /// build_paper_scenarios() shares it instead of building one from
+    /// `config` (which is then ignored).
+    TraceSpec(std::string label_, core::SetupConfig config_,
+              std::shared_ptr<const core::ExperimentSetup> prebuilt_ = nullptr)
+        : label(std::move(label_)),
+          config(config_),
+          prebuilt(std::move(prebuilt_)) {}
+
+    std::string label = "paper-solar";
+    core::SetupConfig config = {};
+    std::shared_ptr<const core::ExperimentSetup> prebuilt;
+};
+
+/// Optional sim-config axis (e.g. storage capacity, deadline sweeps). The
+/// patch is applied to copies of both the multi-exit and checkpointed
+/// SimConfig before the scenario runs. An empty label means "no patch" and
+/// is omitted from scenario ids.
+struct SimPatch {
+    std::string label;
+    std::function<void(sim::SimConfig&)> apply;
+};
+
+struct PaperSweep {
+    std::vector<TraceSpec> traces = {TraceSpec{}};
+    std::vector<SystemSpec> systems;  ///< default: paper_systems()
+    std::vector<SimPatch> patches = {SimPatch{}};
+    int replicas = 1;
+    std::uint64_t base_seed = 0xD5EEDULL;
+};
+
+/// The Fig. 5 comparison set: ours (Q-learning) plus the three baselines.
+std::vector<SystemSpec> paper_systems(int train_episodes = 16);
+
+/// paper_systems() plus the static-LUT variant of ours (Fig. 7 comparison).
+std::vector<SystemSpec> paper_systems_with_static(int train_episodes = 16);
+
+/// Expand the grid. Scenario ids are "trace/system[/patch]#replica"; the
+/// group (aggregation key) is the id minus the replica suffix.
+std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep);
+
+/// Run one system on a prebuilt setup under the replica semantics above.
+/// Exposed for the bench_common wrappers and targeted tests.
+ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
+                                    const SystemSpec& system,
+                                    const ScenarioContext& ctx,
+                                    std::vector<double>* learning_curve = nullptr);
+
+// --- Compression-search scenarios (fig4 / example_compression_search) -----
+
+enum class SearchAlgo { kDdpg, kDdpgRefined, kRandom, kAnnealing };
+
+/// A search scenario: builds its own evaluator stack over the shared setup,
+/// runs the algorithm, and returns metrics (best_racc, evaluations,
+/// feasible, total_macs_m, model_kb) with the full core::SearchResult in the
+/// outcome payload. Replica 0 keeps the canonical SearchConfig seed.
+ScenarioSpec make_search_scenario(
+    std::shared_ptr<const core::ExperimentSetup> setup, SearchAlgo algo,
+    const std::string& label, const core::SearchConfig& config,
+    int replica = 0, std::uint64_t base_seed = 0xD5EEDULL);
+
+}  // namespace imx::exp
+
+#endif  // IMX_EXP_PAPER_SCENARIOS_HPP

@@ -1,0 +1,43 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "exp/thread_pool.hpp"
+
+namespace imx::exp {
+
+std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                       const RunnerConfig& config) {
+    std::vector<ScenarioOutcome> results(specs.size());
+    if (specs.empty()) return results;
+
+    std::size_t threads = config.threads > 0
+                              ? static_cast<std::size_t>(config.threads)
+                              : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, specs.size());
+
+    std::vector<std::exception_ptr> errors(specs.size());
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pool.submit([&specs, &results, &errors, i] {
+            try {
+                ScenarioContext ctx;
+                ctx.seed = specs[i].seed;
+                ctx.replica = specs[i].replica;
+                results[i] = specs[i].run(ctx);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool.wait_idle();
+
+    for (const auto& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
+    return results;
+}
+
+}  // namespace imx::exp

@@ -1,0 +1,30 @@
+// Parallel sweep runner: fans ScenarioSpecs out over a fixed-size thread
+// pool and returns outcomes in spec order. Because every scenario is
+// self-contained (own seed stream, own model/policy instances) and outcomes
+// land in index-addressed slots, the returned vector — and anything folded
+// over it in order, like the aggregation layer — is bitwise identical for
+// any thread count.
+#ifndef IMX_EXP_RUNNER_HPP
+#define IMX_EXP_RUNNER_HPP
+
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace imx::exp {
+
+struct RunnerConfig {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    int threads = 0;
+};
+
+/// Run every scenario and return outcomes such that results[i] corresponds
+/// to specs[i]. If any scenario throws, the exception of the lowest-index
+/// failing scenario is rethrown after all workers finish (deterministic
+/// error behaviour regardless of scheduling).
+std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                       const RunnerConfig& config = {});
+
+}  // namespace imx::exp
+
+#endif  // IMX_EXP_RUNNER_HPP

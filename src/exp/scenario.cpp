@@ -1,0 +1,37 @@
+#include "exp/scenario.hpp"
+
+#include "util/rng.hpp"
+
+namespace imx::exp {
+
+std::uint64_t scenario_seed(std::uint64_t base_seed, const std::string& group,
+                            int replica) {
+    // FNV-1a over the group name, then splitmix64 mixing with the base seed
+    // and replica. Position-independent by construction.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : group) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    std::uint64_t state = base_seed ^ h;
+    (void)util::splitmix64(state);
+    state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(replica) + 1);
+    return util::splitmix64(state);
+}
+
+MetricMap sim_metrics(const sim::SimResult& result) {
+    MetricMap m;
+    m["iepmj"] = result.iepmj();
+    m["acc_all_pct"] = 100.0 * result.accuracy_all_events();
+    m["acc_processed_pct"] = 100.0 * result.accuracy_processed();
+    m["processed"] = static_cast<double>(result.processed_count());
+    m["missed"] = static_cast<double>(result.missed_count());
+    m["event_latency_s"] = result.mean_event_latency_s();
+    m["inference_latency_s"] = result.mean_inference_latency_s();
+    m["inference_macs_m"] = result.mean_inference_macs() / 1e6;
+    m["harvested_mj"] = result.total_harvested_mj;
+    m["consumed_mj"] = result.total_consumed_mj();
+    return m;
+}
+
+}  // namespace imx::exp

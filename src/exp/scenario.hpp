@@ -1,0 +1,66 @@
+// Scenario layer of the sweep engine: one ScenarioSpec = one self-contained,
+// deterministic experiment (a point in a trace x system x config x seed
+// grid). Specs carry their own RNG stream seed and a run function that
+// constructs every piece of mutable state (models, policies, simulators) so
+// scenarios can execute on any thread in any order without sharing state.
+#ifndef IMX_EXP_SCENARIO_HPP
+#define IMX_EXP_SCENARIO_HPP
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace imx::exp {
+
+/// Named scalar metrics. An ordered map so that every iteration (tables,
+/// CSV columns, aggregation) is deterministic.
+using MetricMap = std::map<std::string, double>;
+
+/// What a scenario hands back to the runner.
+struct ScenarioOutcome {
+    MetricMap metrics;
+    /// Full per-event record when the scenario is simulation-based.
+    std::optional<sim::SimResult> sim;
+    /// Escape hatch for rich results (e.g. a searched compression policy).
+    std::any payload;
+};
+
+/// Everything the run function may depend on besides the spec itself.
+struct ScenarioContext {
+    std::uint64_t seed = 0;  ///< per-scenario RNG stream seed
+    int replica = 0;         ///< seed-replica index within the group
+};
+
+using ScenarioFn = std::function<ScenarioOutcome(const ScenarioContext&)>;
+
+struct ScenarioSpec {
+    std::string id;     ///< unique within a sweep, e.g. "paper/SonicNet#1"
+    std::string group;  ///< replicas of the same cell share a group
+    /// Axis label -> value ("trace" -> "paper-solar", "system" -> "SonicNet");
+    /// carried into aggregation and CSV output.
+    std::map<std::string, std::string> dims;
+    int replica = 0;
+    std::uint64_t seed = 0;
+    ScenarioFn run;
+};
+
+/// Derive the deterministic stream seed for (group, replica) under a sweep
+/// base seed. Depends only on those values — not on the spec's position in
+/// the grid — so adding or reordering scenarios never perturbs others.
+std::uint64_t scenario_seed(std::uint64_t base_seed, const std::string& group,
+                            int replica);
+
+/// The standard scalar metrics extracted from a simulation result. Keys:
+/// iepmj, acc_all_pct, acc_processed_pct, processed, missed,
+/// event_latency_s, inference_latency_s, inference_macs_m, harvested_mj,
+/// consumed_mj.
+MetricMap sim_metrics(const sim::SimResult& result);
+
+}  // namespace imx::exp
+
+#endif  // IMX_EXP_SCENARIO_HPP

@@ -1,0 +1,52 @@
+// Fixed-size worker pool for the scenario-sweep engine.
+//
+// Deliberately minimal: submit() enqueues fire-and-forget jobs, wait_idle()
+// blocks until every submitted job has finished. Determinism of sweep
+// results does not depend on scheduling order — the runner writes each
+// scenario's outcome into a pre-sized slot — so the pool needs no ordering
+// guarantees beyond "every job runs exactly once".
+#ifndef IMX_EXP_THREAD_POOL_HPP
+#define IMX_EXP_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imx::exp {
+
+class ThreadPool {
+public:
+    /// Spawns `num_threads` workers (minimum 1).
+    explicit ThreadPool(std::size_t num_threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueue a job. Jobs must not throw; wrap fallible work and capture
+    /// errors out-of-band (the runner stores std::exception_ptr per slot).
+    void submit(std::function<void()> job);
+
+    /// Block until the queue is empty and no worker is mid-job.
+    void wait_idle();
+
+    [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace imx::exp
+
+#endif  // IMX_EXP_THREAD_POOL_HPP

@@ -1,0 +1,381 @@
+// Tests for the exp:: scenario-sweep engine: thread pool, seed derivation,
+// parallel runner determinism (1 vs N threads bitwise identical), replica
+// aggregation statistics, grid composition, and edge cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/paper_scenarios.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/thread_pool.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace imx;
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+    exp::ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+    exp::ThreadPool pool(2);
+    pool.wait_idle();  // must not deadlock
+    EXPECT_EQ(pool.num_threads(), 2u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+    exp::ThreadPool pool(0);
+    EXPECT_EQ(pool.num_threads(), 1u);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+// --- Seed derivation ------------------------------------------------------
+
+TEST(ScenarioSeed, DeterministicAndDistinct) {
+    const auto a0 = exp::scenario_seed(7, "trace/sysA", 0);
+    EXPECT_EQ(a0, exp::scenario_seed(7, "trace/sysA", 0));
+    EXPECT_NE(a0, exp::scenario_seed(7, "trace/sysA", 1));
+    EXPECT_NE(a0, exp::scenario_seed(7, "trace/sysB", 0));
+    EXPECT_NE(a0, exp::scenario_seed(8, "trace/sysA", 0));
+}
+
+// --- Runner ---------------------------------------------------------------
+
+exp::ScenarioSpec synthetic_scenario(const std::string& group, int replica,
+                                     std::uint64_t base_seed) {
+    exp::ScenarioSpec spec;
+    spec.group = group;
+    spec.id = group + "#" + std::to_string(replica);
+    spec.replica = replica;
+    spec.seed = exp::scenario_seed(base_seed, group, replica);
+    spec.run = [](const exp::ScenarioContext& ctx) {
+        util::Rng rng(ctx.seed);
+        exp::ScenarioOutcome outcome;
+        double sum = 0.0;
+        for (int i = 0; i < 1000; ++i) sum += rng.uniform();
+        outcome.metrics["sum"] = sum;
+        outcome.metrics["first"] = util::Rng(ctx.seed).uniform();
+        return outcome;
+    };
+    return spec;
+}
+
+TEST(RunSweep, EmptyGridYieldsEmptyResults) {
+    const auto outcomes = exp::run_sweep({}, {4});
+    EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(RunSweep, SingleScenario) {
+    std::vector<exp::ScenarioSpec> specs = {synthetic_scenario("solo", 0, 1)};
+    const auto outcomes = exp::run_sweep(specs, {4});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_GT(outcomes[0].metrics.at("sum"), 0.0);
+}
+
+TEST(RunSweep, ResultsInSpecOrderForAnyThreadCount) {
+    std::vector<exp::ScenarioSpec> specs;
+    for (int g = 0; g < 4; ++g) {
+        for (int r = 0; r < 4; ++r) {
+            specs.push_back(
+                synthetic_scenario("group" + std::to_string(g), r, 42));
+        }
+    }
+    const auto serial = exp::run_sweep(specs, {1});
+    const auto parallel = exp::run_sweep(specs, {8});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Bitwise equality: same scenario, same seed, same slot.
+        EXPECT_EQ(serial[i].metrics.at("sum"), parallel[i].metrics.at("sum"))
+            << "scenario " << specs[i].id;
+    }
+}
+
+TEST(RunSweep, AggregatedMetricsThreadCountInvariant) {
+    std::vector<exp::ScenarioSpec> specs;
+    for (int g = 0; g < 3; ++g) {
+        for (int r = 0; r < 5; ++r) {
+            specs.push_back(
+                synthetic_scenario("group" + std::to_string(g), r, 7));
+        }
+    }
+    const auto agg1 = exp::aggregate(specs, exp::run_sweep(specs, {1}));
+    const auto aggN = exp::aggregate(specs, exp::run_sweep(specs, {5}));
+    ASSERT_EQ(agg1.size(), aggN.size());
+    for (std::size_t i = 0; i < agg1.size(); ++i) {
+        EXPECT_EQ(agg1[i].group, aggN[i].group);
+        EXPECT_EQ(agg1[i].replicas, aggN[i].replicas);
+        for (const auto& [name, stats] : agg1[i].metrics) {
+            const auto& other = aggN[i].metrics.at(name);
+            // Bitwise identical, not approximately equal.
+            EXPECT_EQ(stats.mean, other.mean) << agg1[i].group << "/" << name;
+            EXPECT_EQ(stats.stddev, other.stddev);
+            EXPECT_EQ(stats.ci95, other.ci95);
+            EXPECT_EQ(stats.min, other.min);
+            EXPECT_EQ(stats.max, other.max);
+        }
+    }
+}
+
+TEST(RunSweep, LowestIndexExceptionWins) {
+    std::vector<exp::ScenarioSpec> specs;
+    for (int i = 0; i < 6; ++i) {
+        exp::ScenarioSpec spec;
+        spec.group = "err";
+        spec.id = "err#" + std::to_string(i);
+        spec.replica = i;
+        spec.run = [i](const exp::ScenarioContext&) -> exp::ScenarioOutcome {
+            if (i == 2) throw std::runtime_error("boom-2");
+            if (i == 4) throw std::runtime_error("boom-4");
+            return {};
+        };
+        specs.push_back(std::move(spec));
+    }
+    try {
+        exp::run_sweep(specs, {4});
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom-2");
+    }
+}
+
+// --- Aggregation statistics -----------------------------------------------
+
+TEST(Aggregate, ReplicaStatsMatchClosedForm) {
+    std::vector<exp::ScenarioSpec> specs;
+    std::vector<exp::ScenarioOutcome> outcomes;
+    const double values[] = {1.0, 2.0, 3.0, 4.0};
+    for (int r = 0; r < 4; ++r) {
+        exp::ScenarioSpec spec;
+        spec.group = "g";
+        spec.id = "g#" + std::to_string(r);
+        spec.replica = r;
+        specs.push_back(spec);
+        exp::ScenarioOutcome outcome;
+        outcome.metrics["m"] = values[r];
+        outcomes.push_back(std::move(outcome));
+    }
+    const auto groups = exp::aggregate(specs, outcomes);
+    ASSERT_EQ(groups.size(), 1u);
+    const auto& stats = groups[0].metrics.at("m");
+    EXPECT_EQ(stats.count, 4u);
+    EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+    const double expected_sd = std::sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3.0);
+    EXPECT_DOUBLE_EQ(stats.stddev, expected_sd);
+    EXPECT_DOUBLE_EQ(stats.ci95, 1.96 * expected_sd / 2.0);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 4.0);
+}
+
+TEST(Aggregate, SingleReplicaHasZeroSpread) {
+    exp::ScenarioSpec spec;
+    spec.group = "g";
+    spec.id = "g#0";
+    exp::ScenarioOutcome outcome;
+    outcome.metrics["m"] = 3.25;
+    const auto groups = exp::aggregate({spec}, {outcome});
+    ASSERT_EQ(groups.size(), 1u);
+    const auto& stats = groups[0].metrics.at("m");
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_DOUBLE_EQ(stats.mean, 3.25);
+    EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(stats.ci95, 0.0);
+}
+
+TEST(Aggregate, EmptyInputYieldsNoGroups) {
+    EXPECT_TRUE(exp::aggregate({}, {}).empty());
+}
+
+TEST(Aggregate, CsvRoundTripsGroupsAndColumns) {
+    std::vector<exp::ScenarioSpec> specs;
+    std::vector<exp::ScenarioOutcome> outcomes;
+    for (int r = 0; r < 3; ++r) {
+        exp::ScenarioSpec spec;
+        spec.group = "cell";
+        spec.id = "cell#" + std::to_string(r);
+        spec.replica = r;
+        spec.dims = {{"system", "ours"}};
+        specs.push_back(spec);
+        exp::ScenarioOutcome outcome;
+        outcome.metrics["iepmj"] = 0.5 + 0.1 * r;
+        outcomes.push_back(std::move(outcome));
+    }
+    const std::string path = "test_exp_sweep_agg.csv";
+    exp::write_aggregate_csv(path, exp::aggregate(specs, outcomes));
+    const auto table = util::read_csv(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(table.rows.size(), 1u);
+    EXPECT_EQ(table.rows[0][table.column_index("group")], "cell");
+    EXPECT_EQ(table.rows[0][table.column_index("dim_system")], "ours");
+    EXPECT_NEAR(table.numeric_column("iepmj_mean")[0], 0.6, 1e-9);
+    EXPECT_NEAR(table.numeric_column("iepmj_stddev")[0], 0.1, 1e-9);
+}
+
+// --- Grid composition -----------------------------------------------------
+
+TEST(PaperGrid, ComposesTraceSystemReplicaProduct) {
+    exp::PaperSweep sweep;
+    sweep.traces = {{"t1", {}}, {"t2", {}}};
+    sweep.systems = exp::paper_systems(2);
+    sweep.replicas = 3;
+    const auto specs = exp::build_paper_scenarios(sweep);
+    EXPECT_EQ(specs.size(), 2u * 4u * 3u);
+
+    std::vector<std::string> ids;
+    for (const auto& spec : specs) {
+        ids.push_back(spec.id);
+        EXPECT_FALSE(spec.dims.at("trace").empty());
+        EXPECT_FALSE(spec.dims.at("system").empty());
+        EXPECT_TRUE(spec.run != nullptr);
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << "scenario ids must be unique";
+}
+
+TEST(PaperGrid, SeedsIndependentOfGridPosition) {
+    exp::PaperSweep small;
+    small.traces = {{"t1", {}}};
+    small.systems = {{"sys", exp::SystemKind::kOursStatic, 0, {}}};
+    small.replicas = 2;
+
+    exp::PaperSweep large = small;
+    large.systems.insert(large.systems.begin(),
+                         {"other", exp::SystemKind::kSonicNet, 0, {}});
+
+    const auto specs_small = exp::build_paper_scenarios(small);
+    const auto specs_large = exp::build_paper_scenarios(large);
+    // The t1/sys scenarios keep their seeds when other scenarios are added.
+    for (const auto& s : specs_small) {
+        bool found = false;
+        for (const auto& l : specs_large) {
+            if (l.id == s.id) {
+                EXPECT_EQ(l.seed, s.seed);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << s.id;
+    }
+}
+
+// --- End-to-end: real simulation scenarios --------------------------------
+
+exp::PaperSweep small_real_sweep() {
+    exp::PaperSweep sweep;
+    core::SetupConfig config;
+    config.event_count = 60;
+    config.duration_s = 1500.0;
+    config.total_harvest_mj = 35.0;
+    sweep.traces = {{"mini", config}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}},
+                     {"ours-ql", exp::SystemKind::kOursQLearning, 2, {}},
+                     {"sonic", exp::SystemKind::kSonicNet, 0, {}}};
+    sweep.replicas = 2;
+    return sweep;
+}
+
+TEST(PaperGrid, RealSimulationThreadCountInvariant) {
+    const auto specs = exp::build_paper_scenarios(small_real_sweep());
+    const auto agg1 = exp::aggregate(specs, exp::run_sweep(specs, {1}));
+    const auto agg4 = exp::aggregate(specs, exp::run_sweep(specs, {4}));
+    ASSERT_EQ(agg1.size(), agg4.size());
+    for (std::size_t i = 0; i < agg1.size(); ++i) {
+        for (const auto& [name, stats] : agg1[i].metrics) {
+            EXPECT_EQ(stats.mean, agg4[i].metrics.at(name).mean)
+                << agg1[i].group << "/" << name;
+            EXPECT_EQ(stats.stddev, agg4[i].metrics.at(name).stddev)
+                << agg1[i].group << "/" << name;
+        }
+    }
+}
+
+TEST(PaperGrid, ReplicaZeroMatchesDirectCanonicalRun) {
+    // The engine's replica 0 must reproduce the historical single-run path.
+    const auto sweep = small_real_sweep();
+    const auto setup = core::make_paper_setup(sweep.traces[0].config);
+    const auto specs = exp::build_paper_scenarios(sweep);
+    const auto outcomes = exp::run_sweep(specs, {2});
+
+    exp::SystemSpec static_spec{"ours-static", exp::SystemKind::kOursStatic,
+                                0, {}};
+    const auto direct =
+        exp::run_system_scenario(setup, static_spec, exp::ScenarioContext{});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].dims.at("system") == "ours-static" &&
+            specs[i].replica == 0) {
+            EXPECT_EQ(outcomes[i].metrics.at("iepmj"),
+                      direct.metrics.at("iepmj"));
+            EXPECT_EQ(outcomes[i].metrics.at("processed"),
+                      direct.metrics.at("processed"));
+        }
+    }
+}
+
+TEST(PaperGrid, ReplicasDifferButAggregateDeterministic) {
+    const auto specs = exp::build_paper_scenarios(small_real_sweep());
+    const auto outcomes = exp::run_sweep(specs, {3});
+    // Replicas of the learning system see different event streams, so their
+    // metrics should not all collapse to a single value across the sweep.
+    bool any_difference = false;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        for (std::size_t j = i + 1; j < specs.size(); ++j) {
+            if (specs[i].group == specs[j].group &&
+                outcomes[i].metrics.at("processed") !=
+                    outcomes[j].metrics.at("processed")) {
+                any_difference = true;
+            }
+        }
+    }
+    EXPECT_TRUE(any_difference)
+        << "independent replicas should differ in at least one metric";
+
+    // And a repeated run of the same grid is bitwise reproducible.
+    const auto again = exp::run_sweep(specs, {2});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(outcomes[i].metrics.at("iepmj"),
+                  again[i].metrics.at("iepmj"));
+    }
+}
+
+TEST(SimPatch, AppliesToScenarioConfigs) {
+    exp::PaperSweep sweep;
+    core::SetupConfig config;
+    config.event_count = 40;
+    config.duration_s = 1000.0;
+    config.total_harvest_mj = 20.0;
+    sweep.traces = {{"mini", config}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}}};
+    sweep.patches = {
+        {"base", [](sim::SimConfig&) {}},
+        {"tiny-storage",
+         [](sim::SimConfig& c) { c.storage.capacity_mj = 0.8; }},
+    };
+    const auto specs = exp::build_paper_scenarios(sweep);
+    ASSERT_EQ(specs.size(), 2u);
+    const auto outcomes = exp::run_sweep(specs, {2});
+    // A much smaller buffer changes what the greedy policy can afford.
+    EXPECT_NE(outcomes[0].metrics.at("consumed_mj"),
+              outcomes[1].metrics.at("consumed_mj"));
+    EXPECT_EQ(specs[1].dims.at("patch"), "tiny-storage");
+}
+
+}  // namespace
