@@ -1,8 +1,16 @@
 // Ablation A1 (DESIGN.md): compression-search algorithm comparison under an
 // equal evaluation budget, plus the power-trace-awareness ablation of the
-// reward (Eq. 10 weighting vs plain mean exit accuracy).
+// reward (Eq. 10 weighting vs plain mean exit accuracy). The five searches
+// (four algorithms plus the trace-blind DDPG) run as one parallel sweep of
+// exp:: search scenarios; the full SearchResults come back via the outcome
+// payloads.
+//
+// Usage: bench_ablation_search [episodes] [--quick] [--replicas N]
+//                              [--threads N] [--csv PATH]
+#include <any>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "core/search.hpp"
@@ -11,35 +19,70 @@
 using namespace imx;
 
 int main(int argc, char** argv) {
-    const int episodes = argc > 1 ? std::atoi(argv[1]) : 240;
+    const auto options = bench::parse_bench_options(argc, argv);
+    // An explicit positional episode count always wins over --quick.
+    const int episodes =
+        exp::positional_int(options, 0, options.quick ? 40 : 240);
 
-    const auto setup = core::make_paper_setup();
-    const auto& desc = setup.network;
+    const auto setup = std::make_shared<const core::ExperimentSetup>(
+        core::make_paper_setup(bench::bench_setup_config(options)));
+    core::SearchConfig cfg;
+    cfg.episodes = episodes;
+    core::SearchConfig blind_cfg = cfg;
+    blind_cfg.trace_aware = false;
+
+    const struct {
+        exp::SearchAlgo algo;
+        const char* label;
+        const core::SearchConfig* config;
+    } searches[] = {
+        {exp::SearchAlgo::kDdpg, "DDPG (paper)", &cfg},
+        {exp::SearchAlgo::kDdpgRefined, "DDPG + refine", &cfg},
+        {exp::SearchAlgo::kRandom, "random", &cfg},
+        {exp::SearchAlgo::kAnnealing, "annealing", &cfg},
+        {exp::SearchAlgo::kDdpgRefined, "DDPG + refine (trace-blind)",
+         &blind_cfg},
+    };
+    std::vector<exp::ScenarioSpec> specs;
+    for (const auto& search : searches) {
+        for (int replica = 0; replica < options.replicas; ++replica) {
+            specs.push_back(exp::make_search_scenario(
+                setup, search.algo, search.label, *search.config, replica));
+        }
+    }
+    const auto outcomes = bench::run_and_report(specs, options);
+    const auto canonical_result = [&](const char* label) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (specs[i].group == std::string("search/") + label &&
+                specs[i].replica == 0) {
+                return std::any_cast<core::SearchResult>(outcomes[i].payload);
+            }
+        }
+        std::fprintf(stderr, "no search result for %s\n", label);
+        std::abort();
+    };
+
+    // The deployed evaluation stack (trace-aware reward) for the reference
+    // rows and the trace-awareness comparison below.
+    const auto& desc = setup->network;
     const core::AccuracyModel oracle(
         desc, {core::kPaperFullPrecisionAcc.begin(),
                core::kPaperFullPrecisionAcc.end()});
     const core::StaticTraceEvaluator trace_eval(
-        setup.trace, setup.events, core::paper_storage_config(),
+        setup->trace, setup->events, core::paper_storage_config(),
         core::kEnergyPerMMacMj);
-
-    // --- Search algorithm comparison (trace-aware reward) ---
     const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
                                           core::paper_constraints(), true);
-    core::SearchConfig cfg;
-    cfg.episodes = episodes;
-    core::CompressionSearch search(evaluator, cfg);
 
     util::Table table("Ablation — search algorithms, equal evaluation budget");
     table.header({"algorithm", "evals", "feasible", "best Racc"});
-    auto add = [&](const char* name, const core::SearchResult& r) {
-        table.row({name, std::to_string(r.evaluations),
+    for (const char* label :
+         {"DDPG (paper)", "DDPG + refine", "random", "annealing"}) {
+        const auto r = canonical_result(label);
+        table.row({label, std::to_string(r.evaluations),
                    r.found_feasible ? "yes" : "no",
                    util::fixed(r.best_reward, 4)});
-    };
-    add("DDPG (paper)", search.run_ddpg());
-    add("DDPG + refine", search.run_ddpg_refined());
-    add("random", search.run_random());
-    add("annealing", search.run_annealing());
+    }
     table.row({"uniform fit", "1", "yes",
                util::fixed(evaluator.score(core::uniform_baseline_policy()).racc,
                            4)});
@@ -53,11 +96,8 @@ int main(int argc, char** argv) {
     // Search with the plain mean-accuracy reward, then evaluate BOTH winners
     // under the trace objective: ignoring the power trace picks policies
     // whose expensive exits miss events.
-    const core::PolicyEvaluator blind(desc, oracle, trace_eval,
-                                      core::paper_constraints(), false);
-    core::CompressionSearch blind_search(blind, cfg);
-    const auto blind_best = blind_search.run_ddpg_refined();
-    const auto aware_best = search.run_ddpg_refined();
+    const auto blind_best = canonical_result("DDPG + refine (trace-blind)");
+    const auto aware_best = canonical_result("DDPG + refine");
 
     const double blind_under_trace =
         evaluator.score(blind_best.best_policy).racc;
@@ -73,5 +113,9 @@ int main(int argc, char** argv) {
         "\ntrace-aware search wins by %+.1f%% on the deployed objective\n",
         100.0 * (aware_under_trace - blind_under_trace) /
             std::max(blind_under_trace, 1e-9));
+
+    bench::print_replica_aggregate(specs, outcomes,
+                                   {"best_racc", "evaluations", "feasible"},
+                                   options);
     return 0;
 }

@@ -1,30 +1,29 @@
 // Shared helpers for the figure-reproduction benches.
 //
-// The simulation runners are thin wrappers over the exp:: sweep engine's
-// scenario functions (replica 0 = the canonical single-run semantics every
-// figure has always printed). Benches that compare several systems build a
-// exp::PaperSweep instead and fan it out over the thread-pool runner; the
-// helpers here cover single-system callers (fig7a, ablations) and the
-// common CLI surface (--quick, --replicas, --threads, --csv).
+// Every bench builds ScenarioSpecs through the exp:: registry
+// (build_paper_scenarios or the make_*_scenario factories), fans them out
+// over the thread-pool runner via run_and_report(), and prints its tables
+// from the replica-0 ("canonical") outcomes — the single-run semantics every
+// figure has always printed. The helpers here cover the common CLI surface
+// (--quick, --replicas, --threads, --csv), quick-mode setup shrinking, and
+// canonical-outcome lookup; all sweep plumbing lives in src/exp/.
 #ifndef IMX_BENCH_COMMON_HPP
 #define IMX_BENCH_COMMON_HPP
 
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/accuracy_model.hpp"
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
-#include "core/oracle_model.hpp"
 #include "core/runtime.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/cli.hpp"
 #include "exp/paper_scenarios.hpp"
 #include "exp/runner.hpp"
-#include "sim/simulator.hpp"
 #include "util/table.hpp"
 
 namespace imx::bench {
@@ -92,26 +91,35 @@ inline const sim::SimResult& canonical_sim(
     std::abort();
 }
 
-/// Run our deployed network under the static LUT policy.
-inline sim::SimResult run_ours_static(const core::ExperimentSetup& setup) {
-    exp::SystemSpec system{"ours-static", exp::SystemKind::kOursStatic, 0, {}};
-    return *exp::run_system_scenario(setup, system, exp::ScenarioContext{})
-                .sim;
+/// The replica-0 metric map for a scenario group (the canonical run for
+/// simulation-free scenarios, where there is no SimResult to fetch).
+inline const exp::MetricMap& canonical_metrics(
+    const std::vector<exp::ScenarioSpec>& specs,
+    const std::vector<exp::ScenarioOutcome>& outcomes,
+    const std::string& group) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].group == group && specs[i].replica == 0) {
+            return outcomes[i].metrics;
+        }
+    }
+    std::fprintf(stderr, "no canonical outcome for group %s\n", group.c_str());
+    std::abort();
 }
 
-/// Train a Q-learning policy for `episodes` runs, then evaluate greedily on
-/// the canonical event schedule. Returns per-episode all-event accuracy in
-/// `learning_curve` if non-null.
-inline sim::SimResult run_ours_qlearning(const core::ExperimentSetup& setup,
-                                         int episodes,
-                                         std::vector<double>* learning_curve =
-                                             nullptr,
-                                         core::RuntimeConfig runtime_cfg = {}) {
-    exp::SystemSpec system{"ours-qlearning", exp::SystemKind::kOursQLearning,
-                           episodes, runtime_cfg};
-    return *exp::run_system_scenario(setup, system, exp::ScenarioContext{},
-                                     learning_curve)
-                .sim;
+/// Print the "mean ± 95% CI" seed-replica aggregation table over the
+/// selected metrics; no-op for single-replica runs (where the canonical
+/// tables already tell the whole story).
+inline void print_replica_aggregate(
+    const std::vector<exp::ScenarioSpec>& specs,
+    const std::vector<exp::ScenarioOutcome>& outcomes,
+    const std::vector<std::string>& metric_names,
+    const BenchOptions& options) {
+    if (options.replicas <= 1) return;
+    std::cout << '\n';
+    exp::aggregate_table(exp::aggregate(specs, outcomes), metric_names,
+                         "seed-replica aggregation (mean ± 95% CI, " +
+                             std::to_string(options.replicas) + " replicas)")
+        .print(std::cout);
 }
 
 /// "measured (paper X)" cell.

@@ -90,13 +90,9 @@ int main(int argc, char** argv) {
         conv_bits / conv_count, fc_b21_bits, fc_b31_bits);
     std::printf("search evaluations: %d\n", result.evaluations);
 
-    if (options.replicas > 1) {
-        std::printf("\n");
-        exp::aggregate_table(exp::aggregate(specs, outcomes),
-                             {"best_racc", "evaluations", "feasible",
-                              "total_macs_m", "model_kb"},
-                             "search seed-replica aggregation (mean ± 95% CI)")
-            .print(std::cout);
-    }
+    bench::print_replica_aggregate(specs, outcomes,
+                                   {"best_racc", "evaluations", "feasible",
+                                    "total_macs_m", "model_kb"},
+                                   options);
     return 0;
 }

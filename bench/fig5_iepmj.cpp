@@ -77,15 +77,8 @@ int main(int argc, char** argv) {
     std::printf("harvested energy over the run: %.1f mJ across %d events\n",
                 ours.total_harvested_mj, ours.total_events());
 
-    if (options.replicas > 1) {
-        std::cout << '\n';
-        exp::aggregate_table(exp::aggregate(specs, outcomes),
-                             {"iepmj", "acc_all_pct", "acc_processed_pct",
-                              "processed"},
-                             "seed-replica aggregation (mean ± 95% CI, " +
-                                 std::to_string(options.replicas) +
-                                 " replicas)")
-            .print(std::cout);
-    }
+    bench::print_replica_aggregate(
+        specs, outcomes,
+        {"iepmj", "acc_all_pct", "acc_processed_pct", "processed"}, options);
     return 0;
 }

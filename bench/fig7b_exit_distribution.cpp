@@ -63,14 +63,8 @@ int main(int argc, char** argv) {
         100.0 * hist_q[0] / learned.processed_count(),
         100.0 * hist_lut[0] / lut.processed_count());
 
-    if (options.replicas > 1) {
-        std::cout << '\n';
-        exp::aggregate_table(exp::aggregate(specs, outcomes),
-                             {"processed", "acc_all_pct", "iepmj"},
-                             "seed-replica aggregation (mean ± 95% CI, " +
-                                 std::to_string(options.replicas) +
-                                 " replicas)")
-            .print(std::cout);
-    }
+    bench::print_replica_aggregate(specs, outcomes,
+                                   {"processed", "acc_all_pct", "iepmj"},
+                                   options);
     return 0;
 }

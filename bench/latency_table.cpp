@@ -68,15 +68,9 @@ int main(int argc, char** argv) {
         "calibration (its 17.1 mJ inferences only complete near solar noon); "
         "the ordering and all other factors match. See EXPERIMENTS.md.\n");
 
-    if (options.replicas > 1) {
-        std::cout << '\n';
-        exp::aggregate_table(exp::aggregate(specs, outcomes),
-                             {"event_latency_s", "inference_latency_s",
-                              "inference_macs_m"},
-                             "seed-replica aggregation (mean ± 95% CI, " +
-                                 std::to_string(options.replicas) +
-                                 " replicas)")
-            .print(std::cout);
-    }
+    bench::print_replica_aggregate(
+        specs, outcomes,
+        {"event_latency_s", "inference_latency_s", "inference_macs_m"},
+        options);
     return 0;
 }

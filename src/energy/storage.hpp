@@ -1,9 +1,12 @@
-// Capacitor-style energy buffer of an intermittently powered device.
-//
-// Models the essentials the paper's runtime depends on: finite capacity,
-// charge inefficiency that worsens at low input power (the "charging
-// efficiency" component of the Q-learning state, Sec. IV), leakage, and the
-// turn-on/turn-off thresholds that define a power cycle.
+/// \file
+/// \brief Capacitor-style energy buffer of an intermittently powered device.
+///
+/// Models the essentials the paper's runtime depends on: finite capacity,
+/// charge inefficiency that worsens at low input power (the "charging
+/// efficiency" component of the Q-learning state, Sec. IV), leakage, and
+/// the turn-on/turn-off thresholds that define a power cycle. The capacity
+/// is also a sweep axis: exp::storage_patch() varies capacity_mj across a
+/// scenario grid.
 #ifndef IMX_ENERGY_STORAGE_HPP
 #define IMX_ENERGY_STORAGE_HPP
 
@@ -11,6 +14,7 @@
 
 namespace imx::energy {
 
+/// \brief Tunable parameters of the energy buffer.
 struct StorageConfig {
     double capacity_mj = 10.0;      ///< usable energy at full charge
     double initial_mj = 0.0;
@@ -26,23 +30,28 @@ struct StorageConfig {
     double off_threshold_mj = 0.05;
 };
 
+/// \brief Stateful energy buffer: harvest in, inference energy out.
 class EnergyStorage {
 public:
+    /// \pre config.capacity_mj > 0, thresholds within capacity.
     explicit EnergyStorage(const StorageConfig& config);
 
-    /// Integrate harvesting at constant input power for dt seconds.
-    /// Returns the energy actually stored (after efficiency and capping).
+    /// \brief Integrate harvesting at constant input power for dt seconds.
+    /// \param power_mw harvested input power over the step.
+    /// \param dt_s step length in seconds.
+    /// \return the energy actually stored (after efficiency and capping).
     double harvest(double power_mw, double dt_s);
 
-    /// Charging efficiency at the given input power.
+    /// \return charging efficiency in [0, efficiency_max] at the given
+    ///   input power.
     [[nodiscard]] double efficiency_at(double power_mw) const;
 
-    /// Attempt to withdraw amount_mj; returns false (and withdraws nothing)
-    /// if the level is insufficient.
+    /// \brief Attempt to withdraw amount_mj.
+    /// \return false (withdrawing nothing) if the level is insufficient.
     [[nodiscard]] bool try_consume(double amount_mj);
 
-    /// Withdraw unconditionally (level clamps at 0); models a brown-out
-    /// where in-progress computation is lost.
+    /// \brief Withdraw unconditionally (level clamps at 0); models a
+    /// brown-out where in-progress computation is lost.
     void drain(double amount_mj);
 
     [[nodiscard]] double level() const { return level_mj_; }

@@ -1,7 +1,10 @@
-// Aggregation and reporting over sweep outcomes: fold seed replicas of each
-// scenario group into mean / stddev / 95% CI per metric, then emit the
-// result as an aligned table or CSV. Accumulation walks specs in index
-// order, so aggregates inherit the runner's thread-count invariance.
+/// \file
+/// \brief Aggregation and reporting over sweep outcomes.
+///
+/// Folds seed replicas of each scenario group into mean / stddev / 95% CI
+/// per metric, then emits the result as an aligned table or CSV.
+/// Accumulation walks specs in index order, so aggregates inherit the
+/// runner's thread-count invariance.
 #ifndef IMX_EXP_AGGREGATE_HPP
 #define IMX_EXP_AGGREGATE_HPP
 
@@ -32,20 +35,24 @@ struct GroupAggregate {
     std::map<std::string, MetricStats> metrics;
 };
 
-/// Group outcomes by spec.group (first-appearance order) and reduce every
-/// metric over the group's replicas. specs and outcomes must be parallel
-/// vectors as returned by run_sweep().
+/// \brief Group outcomes by spec.group (first-appearance order) and reduce
+/// every metric over the group's replicas.
+/// \param specs,outcomes parallel vectors as returned by run_sweep().
+/// \return one GroupAggregate per distinct group.
 std::vector<GroupAggregate> aggregate(const std::vector<ScenarioSpec>& specs,
                                       const std::vector<ScenarioOutcome>& outcomes);
 
-/// Render groups x selected metrics as "mean ± ci95" cells (plain mean when
-/// there is a single replica).
+/// \brief Render groups x selected metrics as "mean ± ci95" cells (plain
+/// mean when there is a single replica).
+/// \param metric_names column selection; missing metrics render as "-".
 util::Table aggregate_table(const std::vector<GroupAggregate>& groups,
                             const std::vector<std::string>& metric_names,
                             const std::string& title);
 
-/// Write one row per group with mean/stddev/ci95/min/max columns for every
-/// metric present in any group.
+/// \brief Write one row per group with mean/stddev/ci95/min/max columns for
+/// every metric present in any group, plus dim_* columns for every axis
+/// label (trace, system, patch, storage_mj, deadline_s, ...).
+/// \throws std::runtime_error when the path is not writable.
 void write_aggregate_csv(const std::string& path,
                          const std::vector<GroupAggregate>& groups);
 

@@ -1,10 +1,12 @@
-// Shared CLI surface for sweep-driven binaries:
-//   [--quick] [--replicas N] [--threads N] [--csv PATH] [positional...]
-// Flags are consumed; anything else lands in `positional` in order, so
-// callers can accept e.g. an episode count before or after the flags.
-// Unknown `--flags` and value-taking flags with a missing value are hard
-// errors: a misspelled `--thread 4` must not silently become positional[0]
-// and change what the binary computes.
+/// \file
+/// \brief Shared CLI surface for sweep-driven binaries:
+///   [--quick] [--replicas N] [--threads N] [--csv PATH] [positional...]
+///
+/// Flags are consumed; anything else lands in `positional` in order, so
+/// callers can accept e.g. an episode count before or after the flags.
+/// Unknown `--flags` and value-taking flags with a missing value are hard
+/// errors: a misspelled `--thread 4` must not silently become positional[0]
+/// and change what the binary computes.
 #ifndef IMX_EXP_CLI_HPP
 #define IMX_EXP_CLI_HPP
 

@@ -1,18 +1,30 @@
 #include "exp/paper_scenarios.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "baselines/baseline_models.hpp"
 #include "compress/fit.hpp"
+#include "core/accuracy_model.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
 #include "core/trace_eval.hpp"
 #include "sim/simulator.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace imx::exp {
 
 namespace {
+
+/// Shortest-form numeric label component ("1.5", "60", "1e+04").
+std::string compact_number(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    return buffer;
+}
 
 /// Training-episode event seeds: the canonical 2000+ep stream for replica 0
 /// (bit-compatible with the historical bench behaviour), a scenario-seed
@@ -44,6 +56,62 @@ ScenarioOutcome outcome_from(sim::SimResult result) {
 }
 
 }  // namespace
+
+SimPatch storage_patch(double capacity_mj) {
+    SimPatch patch;
+    const std::string value = compact_number(capacity_mj);
+    patch.label = "cap" + value + "mJ";
+    patch.dims = {{"storage_mj", value}};
+    patch.apply = [capacity_mj](sim::SimConfig& cfg) {
+        cfg.storage.capacity_mj = capacity_mj;
+        cfg.storage.initial_mj =
+            std::min(cfg.storage.initial_mj, capacity_mj);
+    };
+    return patch;
+}
+
+SimPatch deadline_patch(double deadline_s) {
+    // Fail at axis construction, not deep inside the sweep: the metrics
+    // layer rejects non-positive deadlines (sim/metrics.cpp).
+    IMX_EXPECTS(deadline_s > 0.0);
+    SimPatch patch;
+    if (deadline_s == std::numeric_limits<double>::infinity()) {
+        patch.label = "ddl-none";
+        patch.dims = {{"deadline_s", "inf"}};
+        patch.apply = [](sim::SimConfig&) {};
+        return patch;
+    }
+    const std::string value = compact_number(deadline_s);
+    patch.label = "ddl" + value + "s";
+    patch.dims = {{"deadline_s", value}};
+    patch.apply = [deadline_s](sim::SimConfig& cfg) {
+        cfg.deadline_s = deadline_s;
+    };
+    return patch;
+}
+
+std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
+                                    const std::vector<SimPatch>& b) {
+    std::vector<SimPatch> product;
+    product.reserve(a.size() * b.size());
+    for (const auto& pa : a) {
+        for (const auto& pb : b) {
+            SimPatch combined;
+            combined.label = pa.label.empty() || pb.label.empty()
+                                 ? pa.label + pb.label
+                                 : pa.label + "+" + pb.label;
+            combined.dims = pa.dims;
+            for (const auto& [k, v] : pb.dims) combined.dims[k] = v;
+            combined.apply = [apply_a = pa.apply,
+                              apply_b = pb.apply](sim::SimConfig& cfg) {
+                if (apply_a) apply_a(cfg);
+                if (apply_b) apply_b(cfg);
+            };
+            product.push_back(std::move(combined));
+        }
+    }
+    return product;
+}
 
 std::vector<SystemSpec> paper_systems(int train_episodes) {
     std::vector<SystemSpec> systems;
@@ -154,6 +222,7 @@ std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep) {
                     spec.dims = {{"trace", trace_spec.label},
                                  {"system", system.label}};
                     if (!patch.label.empty()) spec.dims["patch"] = patch.label;
+                    for (const auto& [k, v] : patch.dims) spec.dims[k] = v;
                     spec.replica = replica;
                     spec.seed = scenario_seed(sweep.base_seed, group, replica);
                     spec.run = [cell, system](const ScenarioContext& ctx) {
@@ -165,6 +234,78 @@ std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep) {
         }
     }
     return specs;
+}
+
+ScenarioSpec make_learning_curve_scenario(
+    std::shared_ptr<const core::ExperimentSetup> setup,
+    const SystemSpec& system, const std::string& trace_label, int replica,
+    std::uint64_t base_seed) {
+    ScenarioSpec spec;
+    spec.group = trace_label + "/" + system.label;
+    spec.id = spec.group + "#" + std::to_string(replica);
+    spec.dims = {{"trace", trace_label}, {"system", system.label}};
+    spec.replica = replica;
+    spec.seed = scenario_seed(base_seed, spec.group, replica);
+    spec.run = [setup = std::move(setup),
+                system](const ScenarioContext& ctx) {
+        std::vector<double> curve;
+        auto outcome = run_system_scenario(*setup, system, ctx, &curve);
+        // Zero-pad to the curve's own width (>= 2) so the lexicographic
+        // MetricMap order is episode order for any episode count.
+        int width = 2;
+        for (std::size_t n = curve.size(); n > 99; n /= 10) ++width;
+        for (std::size_t ep = 0; ep < curve.size(); ++ep) {
+            char key[32];
+            std::snprintf(key, sizeof(key), "curve_ep%0*u", width,
+                          static_cast<unsigned>(ep + 1));
+            outcome.metrics[key] = curve[ep];
+        }
+        return outcome;
+    };
+    return spec;
+}
+
+ScenarioSpec make_exit_accuracy_scenario(CompressionVariant variant,
+                                         const std::string& label,
+                                         int replica,
+                                         std::uint64_t base_seed) {
+    ScenarioSpec spec;
+    spec.group = "fig1b/" + label;
+    spec.id = spec.group + "#" + std::to_string(replica);
+    spec.dims = {{"variant", label}};
+    spec.replica = replica;
+    spec.seed = scenario_seed(base_seed, spec.group, replica);
+    spec.run = [variant](const ScenarioContext&) -> ScenarioOutcome {
+        const auto desc = core::make_paper_network_desc();
+        const core::AccuracyModel oracle(
+            desc, {core::kPaperFullPrecisionAcc.begin(),
+                   core::kPaperFullPrecisionAcc.end()});
+        compress::Policy policy;
+        switch (variant) {
+            case CompressionVariant::kFullPrecision:
+                policy = compress::Policy::full_precision(desc.num_layers());
+                break;
+            case CompressionVariant::kUniform:
+                policy = core::uniform_baseline_policy();
+                break;
+            case CompressionVariant::kNonuniform:
+                policy = core::reference_nonuniform_policy();
+                break;
+        }
+        const auto acc = oracle.exit_accuracy(policy);
+        ScenarioOutcome outcome;
+        for (std::size_t e = 0; e < acc.size(); ++e) {
+            outcome.metrics["exit" + std::to_string(e + 1) + "_acc_pct"] =
+                acc[e];
+        }
+        outcome.metrics["total_macs_m"] =
+            static_cast<double>(compress::total_macs(desc, policy)) / 1e6;
+        outcome.metrics["model_kb"] =
+            compress::model_bytes(desc, policy) / 1024.0;
+        outcome.payload = policy;
+        return outcome;
+    };
+    return spec;
 }
 
 ScenarioSpec make_search_scenario(

@@ -1,14 +1,18 @@
-// Declarative scenario registry for the paper's evaluation grid:
-// power trace x system (ours vs SONIC-style checkpointed baselines) x
-// sim-config patch x seed replica, anchored on the canonical setups from
-// core/experiment_setup. build_paper_scenarios() expands the grid into
-// self-contained ScenarioSpecs for the parallel runner.
-//
-// Replica semantics: replica 0 reproduces the canonical single-run numbers
-// the fig* benches have always printed (event seed 99, Q-learning training
-// schedules 2000+ep, runtime seed from RuntimeConfig); replicas >= 1 derive
-// fresh event-arrival and learning streams from the scenario seed, giving
-// independent samples for the mean/CI aggregation.
+/// \file
+/// \brief Declarative scenario registry for the paper's evaluation grid:
+/// power trace x system (ours vs SONIC-style checkpointed baselines) x
+/// sim-config patch (storage capacity, deadline, ...) x seed replica,
+/// anchored on the canonical setups from core/experiment_setup.
+/// build_paper_scenarios() expands the grid into self-contained
+/// ScenarioSpecs for the parallel runner; the make_*_scenario factories
+/// wrap the search, learning-curve, and exit-accuracy experiments the
+/// remaining benches need.
+///
+/// Replica semantics: replica 0 reproduces the canonical single-run numbers
+/// the fig* benches have always printed (event seed 99, Q-learning training
+/// schedules 2000+ep, runtime seed from RuntimeConfig); replicas >= 1 derive
+/// fresh event-arrival and learning streams from the scenario seed, giving
+/// independent samples for the mean/CI aggregation.
 #ifndef IMX_EXP_PAPER_SCENARIOS_HPP
 #define IMX_EXP_PAPER_SCENARIOS_HPP
 
@@ -62,7 +66,31 @@ struct TraceSpec {
 struct SimPatch {
     std::string label;
     std::function<void(sim::SimConfig&)> apply;
+    /// Extra axis labels merged into every member spec's dims (and therefore
+    /// into aggregate CSV columns), e.g. {"storage_mj", "3.0"}.
+    std::map<std::string, std::string> dims;
 };
+
+// --- Patch-axis factories -------------------------------------------------
+
+/// Energy-storage capacity axis (wired through energy::StorageConfig): sets
+/// storage.capacity_mj, clamping initial_mj to the new capacity. Labels the
+/// cell "capXmJ" with dims {"storage_mj": "X"}.
+SimPatch storage_patch(double capacity_mj);
+
+/// Inference-deadline axis: sets sim::SimConfig::deadline_s so the sweep
+/// reports a deadline_miss_pct metric and the simulator drops hopelessly
+/// late waiting jobs. Labels the cell "ddlXs" with dims {"deadline_s": "X"};
+/// an infinite deadline yields the explicit no-deadline cell "ddl-none".
+/// \pre deadline_s > 0 (infinity allowed).
+SimPatch deadline_patch(double deadline_s);
+
+/// Cross product of two patch axes, in a-major order: each combination
+/// applies both patches (a's then b's), joins non-empty labels with "+",
+/// and merges dims (b wins on key collision). Use to register e.g. a
+/// storage x deadline grid as one PaperSweep patch axis.
+std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
+                                    const std::vector<SimPatch>& b);
 
 struct PaperSweep {
     std::vector<TraceSpec> traces = {TraceSpec{}};
@@ -83,11 +111,38 @@ std::vector<SystemSpec> paper_systems_with_static(int train_episodes = 16);
 std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep);
 
 /// Run one system on a prebuilt setup under the replica semantics above.
-/// Exposed for the bench_common wrappers and targeted tests.
+/// Exposed for the learning-curve scenarios and targeted tests.
 ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
                                     const SystemSpec& system,
                                     const ScenarioContext& ctx,
                                     std::vector<double>* learning_curve = nullptr);
+
+// --- Learning-curve scenarios (fig7a) -------------------------------------
+
+/// A system scenario that additionally records the per-training-episode
+/// all-event accuracy (%) as metrics "curve_ep01", "curve_ep02", ... —
+/// 1-based and zero-padded, so MetricMap order is episode order — alongside
+/// the standard sim metrics. With --replicas N the aggregation therefore
+/// yields a mean/CI learning curve per episode. Replica semantics match
+/// run_system_scenario(); only Q-learning systems produce curve points.
+ScenarioSpec make_learning_curve_scenario(
+    std::shared_ptr<const core::ExperimentSetup> setup,
+    const SystemSpec& system, const std::string& trace_label = "paper-solar",
+    int replica = 0, std::uint64_t base_seed = 0xD5EEDULL);
+
+// --- Exit-accuracy scenarios (fig1b) --------------------------------------
+
+/// The Fig. 1b compression variants of the deployed multi-exit network.
+enum class CompressionVariant { kFullPrecision, kUniform, kNonuniform };
+
+/// A deterministic, simulation-free scenario computing the per-exit oracle
+/// accuracy of one compression variant on the paper network, plus its
+/// footprint. Metrics: exit1_acc_pct..exit3_acc_pct, total_macs_m, model_kb.
+/// Being RNG-free, every replica returns identical numbers.
+ScenarioSpec make_exit_accuracy_scenario(CompressionVariant variant,
+                                         const std::string& label,
+                                         int replica = 0,
+                                         std::uint64_t base_seed = 0xD5EEDULL);
 
 // --- Compression-search scenarios (fig4 / example_compression_search) -----
 

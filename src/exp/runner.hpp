@@ -1,9 +1,11 @@
-// Parallel sweep runner: fans ScenarioSpecs out over a fixed-size thread
-// pool and returns outcomes in spec order. Because every scenario is
-// self-contained (own seed stream, own model/policy instances) and outcomes
-// land in index-addressed slots, the returned vector — and anything folded
-// over it in order, like the aggregation layer — is bitwise identical for
-// any thread count.
+/// \file
+/// \brief Parallel sweep runner: fans ScenarioSpecs out over a fixed-size
+/// thread pool and returns outcomes in spec order.
+///
+/// Because every scenario is self-contained (own seed stream, own
+/// model/policy instances) and outcomes land in index-addressed slots, the
+/// returned vector — and anything folded over it in order, like the
+/// aggregation layer — is bitwise identical for any thread count.
 #ifndef IMX_EXP_RUNNER_HPP
 #define IMX_EXP_RUNNER_HPP
 
@@ -18,10 +20,13 @@ struct RunnerConfig {
     int threads = 0;
 };
 
-/// Run every scenario and return outcomes such that results[i] corresponds
-/// to specs[i]. If any scenario throws, the exception of the lowest-index
-/// failing scenario is rethrown after all workers finish (deterministic
-/// error behaviour regardless of scheduling).
+/// \brief Run every scenario in parallel.
+/// \param specs the expanded grid; each spec's run function must be set.
+/// \param config worker-thread count (0 = all hardware threads).
+/// \return outcomes such that results[i] corresponds to specs[i].
+/// \throws whatever the lowest-index failing scenario threw, rethrown after
+///   all workers finish (deterministic error behaviour regardless of
+///   scheduling).
 std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
                                        const RunnerConfig& config = {});
 

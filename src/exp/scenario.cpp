@@ -29,6 +29,7 @@ MetricMap sim_metrics(const sim::SimResult& result) {
     m["event_latency_s"] = result.mean_event_latency_s();
     m["inference_latency_s"] = result.mean_inference_latency_s();
     m["inference_macs_m"] = result.mean_inference_macs() / 1e6;
+    m["deadline_miss_pct"] = 100.0 * result.deadline_miss_rate();
     m["harvested_mj"] = result.total_harvested_mj;
     m["consumed_mj"] = result.total_consumed_mj();
     return m;

@@ -1,8 +1,11 @@
-// Scenario layer of the sweep engine: one ScenarioSpec = one self-contained,
-// deterministic experiment (a point in a trace x system x config x seed
-// grid). Specs carry their own RNG stream seed and a run function that
-// constructs every piece of mutable state (models, policies, simulators) so
-// scenarios can execute on any thread in any order without sharing state.
+/// \file
+/// \brief Scenario layer of the sweep engine.
+///
+/// One ScenarioSpec = one self-contained, deterministic experiment (a point
+/// in a trace x system x config x seed grid). Specs carry their own RNG
+/// stream seed and a run function that constructs every piece of mutable
+/// state (models, policies, simulators) so scenarios can execute on any
+/// thread in any order without sharing state.
 #ifndef IMX_EXP_SCENARIO_HPP
 #define IMX_EXP_SCENARIO_HPP
 
@@ -49,15 +52,22 @@ struct ScenarioSpec {
     ScenarioFn run;
 };
 
-/// Derive the deterministic stream seed for (group, replica) under a sweep
-/// base seed. Depends only on those values — not on the spec's position in
-/// the grid — so adding or reordering scenarios never perturbs others.
+/// \brief Derive the deterministic stream seed for (group, replica) under a
+/// sweep base seed.
+///
+/// Depends only on those values — not on the spec's position in the grid —
+/// so adding or reordering scenarios never perturbs others.
+/// \param base_seed the sweep-wide base seed.
+/// \param group the scenario's aggregation-cell name.
+/// \param replica the seed-replica index within the group.
+/// \return a well-mixed 64-bit stream seed.
 std::uint64_t scenario_seed(std::uint64_t base_seed, const std::string& group,
                             int replica);
 
 /// The standard scalar metrics extracted from a simulation result. Keys:
 /// iepmj, acc_all_pct, acc_processed_pct, processed, missed,
-/// event_latency_s, inference_latency_s, inference_macs_m, harvested_mj,
+/// event_latency_s, inference_latency_s, inference_macs_m,
+/// deadline_miss_pct (0 when the run had no deadline), harvested_mj,
 /// consumed_mj.
 MetricMap sim_metrics(const sim::SimResult& result);
 

@@ -1,10 +1,11 @@
-// Fixed-size worker pool for the scenario-sweep engine.
-//
-// Deliberately minimal: submit() enqueues fire-and-forget jobs, wait_idle()
-// blocks until every submitted job has finished. Determinism of sweep
-// results does not depend on scheduling order — the runner writes each
-// scenario's outcome into a pre-sized slot — so the pool needs no ordering
-// guarantees beyond "every job runs exactly once".
+/// \file
+/// \brief Fixed-size worker pool for the scenario-sweep engine.
+///
+/// Deliberately minimal: submit() enqueues fire-and-forget jobs, wait_idle()
+/// blocks until every submitted job has finished. Determinism of sweep
+/// results does not depend on scheduling order — the runner writes each
+/// scenario's outcome into a pre-sized slot — so the pool needs no ordering
+/// guarantees beyond "every job runs exactly once".
 #ifndef IMX_EXP_THREAD_POOL_HPP
 #define IMX_EXP_THREAD_POOL_HPP
 

@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <limits>
+
 #include "util/contracts.hpp"
 
 namespace imx::sim {
@@ -80,6 +82,19 @@ std::vector<int> SimResult::exit_histogram(int num_exits) const {
         ++hist[static_cast<std::size_t>(r.exit_taken)];
     }
     return hist;
+}
+
+double SimResult::deadline_miss_rate(double deadline) const {
+    IMX_EXPECTS(deadline > 0.0);
+    if (records.empty()) return 0.0;
+    if (deadline == std::numeric_limits<double>::infinity()) return 0.0;
+    int missed = 0;
+    for (const auto& r : records) {
+        const bool on_time =
+            r.processed && r.completion_time_s - r.arrival_time_s <= deadline;
+        missed += on_time ? 0 : 1;
+    }
+    return static_cast<double>(missed) / static_cast<double>(records.size());
 }
 
 double SimResult::total_consumed_mj() const {

@@ -5,6 +5,7 @@
 #define IMX_SIM_METRICS_HPP
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace imx::sim {
@@ -26,6 +27,9 @@ struct SimResult {
     std::vector<EventRecord> records;
     double total_harvested_mj = 0.0;  ///< gross EH energy over the run
     double duration_s = 0.0;
+    /// Inference deadline the run was simulated under (copied from
+    /// SimConfig::deadline_s); infinity when the scenario had no deadline.
+    double deadline_s = std::numeric_limits<double>::infinity();
 
     [[nodiscard]] int total_events() const {
         return static_cast<int>(records.size());
@@ -58,6 +62,19 @@ struct SimResult {
 
     /// Total energy consumed by inference, mJ.
     [[nodiscard]] double total_consumed_mj() const;
+
+    /// Fraction of events (over all N) whose result was not produced within
+    /// `deadline` seconds of arrival: processed-but-late events and events
+    /// that produced no result at all both count as misses. An infinite
+    /// deadline is never missed, so the rate is 0.0. Evaluating different
+    /// thresholds on the same result is monotone: a tighter deadline can
+    /// only raise the rate.
+    [[nodiscard]] double deadline_miss_rate(double deadline) const;
+
+    /// deadline_miss_rate() at the deadline the run was simulated under.
+    [[nodiscard]] double deadline_miss_rate() const {
+        return deadline_miss_rate(deadline_s);
+    }
 
     /// Eq. 5 invariant: at no prefix of the event sequence does cumulative
     /// consumption exceed cumulative harvest plus the initial buffer.

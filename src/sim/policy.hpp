@@ -1,26 +1,42 @@
-// Runtime exit-selection policy interface plus the static baseline policy.
-//
-// The paper's two sequential runtime decisions (Sec. IV) map to the two
-// virtuals: select_exit() when the event is picked up, continue_inference()
-// at each reached exit (incremental inference). Learning policies also get
-// observe() feedback after the event resolves.
+/// \file
+/// \brief Runtime exit-selection policy interface plus the static baseline
+/// policy.
+///
+/// The paper's two sequential runtime decisions (Sec. IV) map to the two
+/// virtuals: select_exit() when the event is picked up, continue_inference()
+/// at each reached exit (incremental inference). Learning policies also get
+/// observe() feedback after the event resolves.
 #ifndef IMX_SIM_POLICY_HPP
 #define IMX_SIM_POLICY_HPP
+
+#include <limits>
 
 #include "sim/inference_model.hpp"
 
 namespace imx::sim {
 
-/// Energy situation visible to the runtime (the Q-learning state variables:
-/// available energy E and charging efficiency P, both to be discretized by
-/// the policy).
+/// \brief Energy situation visible to the runtime.
+///
+/// Carries the Q-learning state variables of the paper (available energy E
+/// and charging efficiency P, both to be discretized by the policy) plus the
+/// deadline slack of the in-flight event when the scenario runs under an
+/// inference deadline (SimConfig::deadline_s).
 struct EnergyState {
     double level_mj = 0.0;        ///< stored energy now
     double capacity_mj = 0.0;     ///< storage capacity
     double charge_rate_mw = 0.0;  ///< recent harvesting rate (EMA)
-    double energy_per_mmac_mj = 1.5;
+    double energy_per_mmac_mj = 1.5;  ///< MCU energy cost per million MACs
+    /// Seconds left before the in-flight event's completion deadline; clamped
+    /// at 0 once the deadline has passed, infinity when the run has no
+    /// deadline. Deadline-aware policies can trade accuracy for timeliness
+    /// on this signal; the built-in policies ignore it.
+    double deadline_slack_s = std::numeric_limits<double>::infinity();
 };
 
+/// \brief Abstract runtime exit-selection policy (paper Sec. IV).
+///
+/// Implementations must be deterministic functions of their own state and
+/// the arguments; the simulator calls them single-threadedly per run.
 class ExitPolicy {
 public:
     virtual ~ExitPolicy() = default;
@@ -28,33 +44,42 @@ public:
     ExitPolicy(const ExitPolicy&) = delete;
     ExitPolicy& operator=(const ExitPolicy&) = delete;
 
-    /// Choose the exit to run for a waiting event, or -1 to keep waiting
-    /// (insufficient energy for any acceptable choice).
+    /// \brief Choose the exit to run for a waiting event.
+    /// \param state current energy situation (and deadline slack).
+    /// \param model the deployed inference model (exit costs, exit count).
+    /// \return the exit index to commit to, or -1 to keep waiting
+    ///   (insufficient energy for any acceptable choice).
     virtual int select_exit(const EnergyState& state,
                             const InferenceModel& model) = 0;
 
-    /// After reaching `current_exit` with `confidence`, decide whether to
-    /// spend more energy to advance to the next exit.
+    /// \brief Decide whether to spend more energy on incremental inference.
+    /// \param state current energy situation.
+    /// \param model the deployed inference model.
+    /// \param current_exit the exit just reached.
+    /// \param confidence the model's confidence at that exit.
+    /// \return true to advance to the next exit, false to emit the result.
     virtual bool continue_inference(const EnergyState& state,
                                     const InferenceModel& model,
                                     int current_exit, double confidence) = 0;
 
-    /// Feedback after the event resolves (reward = outcome correctness per
-    /// paper Sec. IV). Default: stateless policy ignores it.
+    /// \brief Feedback after the event resolves (reward = outcome
+    /// correctness per paper Sec. IV). Default: stateless policy ignores it.
     virtual void observe(const EnergyState& /*state_at_selection*/,
                          int /*exit_taken*/, bool /*correct*/) {}
 
-    /// A missed event (device never got to run it). Learning policies can
-    /// penalize the preceding behaviour.
+    /// \brief A missed event (device never got to run it). Learning policies
+    /// can penalize the preceding behaviour.
     virtual void observe_missed() {}
 };
 
-/// The static-LUT baseline of Sec. IV / Fig. 7: greedily select the deepest
-/// exit whose from-scratch energy cost fits the currently stored energy;
-/// never runs incremental inference.
+/// \brief The static-LUT baseline of Sec. IV / Fig. 7.
+///
+/// Greedily selects the deepest exit whose from-scratch energy cost fits the
+/// currently stored energy; never runs incremental inference.
 class GreedyAffordablePolicy final : public ExitPolicy {
 public:
-    /// safety_margin_mj is kept in reserve so the run cannot brown out.
+    /// \param safety_margin_mj energy kept in reserve so the run cannot
+    ///   brown out.
     explicit GreedyAffordablePolicy(double safety_margin_mj = 0.0)
         : safety_margin_mj_(safety_margin_mj) {}
 
@@ -68,7 +93,7 @@ private:
     double safety_margin_mj_;
 };
 
-/// Energy cost of `macs` at the state's energy-per-MMAC rate.
+/// \brief Energy cost of `macs` MACs at the state's energy-per-MMAC rate.
 double macs_energy_mj(const EnergyState& state, std::int64_t macs);
 
 }  // namespace imx::sim

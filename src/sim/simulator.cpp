@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/contracts.hpp"
 #include "util/stats.hpp"
@@ -60,6 +61,7 @@ SimResult Simulator::run(const std::vector<Event>& events,
     }
     result.duration_s = trace_->duration();
     result.total_harvested_mj = trace_->total_energy();
+    result.deadline_s = config_.deadline_s;
 
     const double dt = config_.dt_s;
     std::size_t next_event = 0;
@@ -67,12 +69,19 @@ SimResult Simulator::run(const std::vector<Event>& events,
     Job job;
     bool device_on = false;  // checkpointed-mode power state (hysteresis)
 
-    auto energy_state = [&]() {
+    auto energy_state = [&](double now) {
         EnergyState s;
         s.level_mj = storage.level();
         s.capacity_mj = storage.capacity();
         s.charge_rate_mw = charge_rate.value();
         s.energy_per_mmac_mj = config_.mcu.energy_per_mmac_mj;
+        // Remaining time before the in-flight event's completion deadline;
+        // infinity when the run has no deadline.
+        if (config_.deadline_s !=
+            std::numeric_limits<double>::infinity()) {
+            s.deadline_slack_s =
+                std::max(0.0, job.arrival_s + config_.deadline_s - now);
+        }
         return s;
     };
 
@@ -123,9 +132,12 @@ SimResult Simulator::run(const std::vector<Event>& events,
         EventRecord& record =
             result.records[static_cast<std::size_t>(job.event_id)];
 
-        // 3. Deadline check (only before execution starts).
+        // 3. Deadline check (only before execution starts): a waiting job
+        // past its start deadline — or past its completion deadline, which
+        // it can now only miss — is dropped so the device frees up.
         if (!job.executing && job.inference_start_s < 0.0 &&
-            now - job.arrival_s > config_.max_wait_s) {
+            now - job.arrival_s >
+                std::min(config_.max_wait_s, config_.deadline_s)) {
             policy.observe_missed();
             busy = false;
             continue;
@@ -141,12 +153,13 @@ SimResult Simulator::run(const std::vector<Event>& events,
                     const int next_exit = job.reached_exit + 1;
                     bool advanced = false;
                     if (next_exit < model.num_exits() &&
-                        policy.continue_inference(energy_state(), model,
+                        policy.continue_inference(energy_state(now), model,
                                                   job.reached_exit,
                                                   outcome.confidence)) {
                         const std::int64_t inc_macs =
                             model.incremental_macs(job.reached_exit, next_exit);
-                        const double cost = macs_energy_mj(energy_state(), inc_macs);
+                        const double cost =
+                            macs_energy_mj(energy_state(now), inc_macs);
                         if (storage.try_consume(cost)) {
                             job.energy_spent_mj += cost;
                             job.macs_done += inc_macs;
@@ -168,7 +181,7 @@ SimResult Simulator::run(const std::vector<Event>& events,
             // 3b. Waiting: ask (or re-ask) the policy, then start when the
             // committed exit is affordable.
             if (!job.committed) {
-                const EnergyState s = energy_state();
+                const EnergyState s = energy_state(now);
                 const int choice = policy.select_exit(s, model);
                 if (choice >= 0) {
                     IMX_EXPECTS(choice < model.num_exits());
@@ -179,7 +192,7 @@ SimResult Simulator::run(const std::vector<Event>& events,
             }
             if (job.committed) {
                 const std::int64_t macs = model.exit_macs(job.committed_exit);
-                const double cost = macs_energy_mj(energy_state(), macs) +
+                const double cost = macs_energy_mj(energy_state(now), macs) +
                                     config_.mcu.wakeup_energy_mj;
                 if (storage.try_consume(cost)) {
                     job.energy_spent_mj += cost;

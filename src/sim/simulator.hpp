@@ -45,6 +45,13 @@ struct SimConfig {
     /// Optional deadline: a job that has not *started executing* within this
     /// many seconds of arrival is dropped (default: no deadline).
     double max_wait_s = std::numeric_limits<double>::infinity();
+    /// Optional *completion* deadline (the deadline sweep axis): an event
+    /// whose result is not produced within deadline_s of arrival counts as a
+    /// deadline miss (SimResult::deadline_miss_rate()). A job still waiting
+    /// for energy when its deadline passes is hopeless and is dropped, which
+    /// frees the device for later arrivals. Policies see the remaining slack
+    /// as EnergyState::deadline_slack_s. Default: no deadline.
+    double deadline_s = std::numeric_limits<double>::infinity();
 };
 
 class Simulator {
