@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
     no_incremental.enable_incremental = false;
     incremental_sweep.systems = {
         {"with incremental (paper)", exp::SystemKind::kOursQLearning,
-         eps_full, {}},
+         eps_full, {}, ""},
         {"without", exp::SystemKind::kOursQLearning, eps_full,
-         no_incremental}};
+         no_incremental, ""}};
     incremental_sweep.replicas = options.replicas;
     auto specs = exp::build_paper_scenarios(incremental_sweep);
 
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
         cfg.miss_penalty = penalty;
         penalty_sweep.systems.push_back(
             {"penalty " + util::fixed(penalty, 1),
-             exp::SystemKind::kOursQLearning, eps_full, cfg});
+             exp::SystemKind::kOursQLearning, eps_full, cfg, ""});
     }
     penalty_sweep.replicas = options.replicas;
     for (auto& spec : exp::build_paper_scenarios(penalty_sweep)) {
@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
     exp::PaperSweep capacity_sweep;
     capacity_sweep.traces = {trace};
     capacity_sweep.systems = {
-        {"Q-learning", exp::SystemKind::kOursQLearning, eps_capacity, {}},
-        {"static LUT", exp::SystemKind::kOursStatic, 0, {}}};
+        {"Q-learning", exp::SystemKind::kOursQLearning, eps_capacity, {}, ""},
+        {"static LUT", exp::SystemKind::kOursStatic, 0, {}, ""}};
     capacity_sweep.patches.clear();  // only the explicit capacities run
     for (const double capacity : capacities) {
         capacity_sweep.patches.push_back(exp::storage_patch(capacity));

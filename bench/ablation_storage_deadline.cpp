@@ -1,11 +1,13 @@
-// Design-space sweep over the two newest scenario axes: energy-storage
-// capacity x inference deadline, for the learned runtime vs the static LUT.
-// The cross product registers through exp::cross_patches, so one PaperSweep
-// covers the whole trace x system x storage x deadline grid; the aggregate
+// Design-space sweep over three scenario axes: energy-storage capacity x
+// inference deadline x exit policy (every sim::policies registry built-in).
+// The full factorial registers through exp::cross_patches, so one PaperSweep
+// covers the whole trace x storage x deadline x policy grid; the aggregate
 // table and CSV include the deadline-miss-rate column next to the paper's
-// forward-progress metrics. (Related work motivates both axes: harvested-
-// energy regimes in Gobieski et al., energy/deadline constraints in Bullo
-// et al.)
+// forward-progress metrics. The pol-greedy / pol-qlearning slices reproduce
+// the bench's historical static-LUT / Q-learning cells bitwise at replica 0
+// (pinned by tests/test_policies.cpp). (Related work motivates the axes:
+// harvested-energy regimes in Gobieski et al., energy/deadline constraints
+// in Bullo et al.)
 //
 // Usage: bench_ablation_storage_deadline [--quick] [--replicas N]
 //                                        [--threads N] [--csv PATH]
@@ -14,6 +16,7 @@
 #include <limits>
 
 #include "bench_common.hpp"
+#include "sim/policies/registry.hpp"
 
 using namespace imx;
 
@@ -23,16 +26,22 @@ int main(int argc, char** argv) {
 
     exp::PaperSweep sweep;
     sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
-    sweep.systems = {{"Q-learning", exp::SystemKind::kOursQLearning,
-                      bench::bench_episodes(options, 12), {}},
-                     {"static LUT", exp::SystemKind::kOursStatic, 0, {}}};
+    // One multi-exit system; the policy axis below picks the exit policy
+    // per cell (train_episodes only applies to the learning policies).
+    sweep.systems = {{"ours", exp::SystemKind::kOursPolicy,
+                      bench::bench_episodes(options, 12), {}, ""}};
     const std::vector<exp::SimPatch> storage_axis = {
         exp::storage_patch(3.0), exp::storage_patch(6.0),
         exp::storage_patch(12.0)};
     const std::vector<exp::SimPatch> deadline_axis = {
         exp::deadline_patch(60.0), exp::deadline_patch(240.0),
         exp::deadline_patch(std::numeric_limits<double>::infinity())};
-    sweep.patches = exp::cross_patches(storage_axis, deadline_axis);
+    std::vector<exp::SimPatch> policy_axis;
+    for (const auto& name : sim::policy_names()) {
+        policy_axis.push_back(exp::policy_patch(name));
+    }
+    sweep.patches = exp::cross_patches(
+        exp::cross_patches(storage_axis, deadline_axis), policy_axis);
     sweep.replicas = options.replicas;
 
     const auto specs = exp::build_paper_scenarios(sweep);
@@ -42,7 +51,8 @@ int main(int argc, char** argv) {
         exp::aggregate(specs, outcomes),
         {"iepmj", "processed", "deadline_miss_pct", "acc_all_pct",
          "event_latency_s"},
-        "Storage x deadline sweep (" + std::to_string(options.replicas) +
+        "Storage x deadline x policy sweep (" +
+            std::to_string(options.replicas) +
             " replica(s); mean ± 95% CI when > 1)")
         .print(std::cout);
 
@@ -50,8 +60,9 @@ int main(int argc, char** argv) {
         "\nnotes: a tight deadline turns slow waiting into explicit misses "
         "(deadline_miss_pct) but frees the device for the next arrival; "
         "larger storage buffers more night/cloud energy, which lifts "
-        "processed counts until capacity stops binding. Groups are "
-        "trace/system/capXmJ+ddlYs; use --csv for the full per-cell "
-        "statistics.\n");
+        "processed counts until capacity stops binding; the slack-aware "
+        "policies (pol-slack-*) trade exit depth for timeliness when the "
+        "deadline bites. Groups are trace/ours/capXmJ+ddlYs+pol-NAME; use "
+        "--csv for the full per-cell statistics.\n");
     return 0;
 }

@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
                     sim::ArrivalKind::kUniform, setup_cfg.event_seed)},
     };
     shape_sweep.systems = {
-        {"Q-learning", exp::SystemKind::kOursQLearning, episodes, {}},
-        {"static LUT", exp::SystemKind::kOursStatic, 0, {}}};
+        {"Q-learning", exp::SystemKind::kOursQLearning, episodes, {}, ""},
+        {"static LUT", exp::SystemKind::kOursStatic, 0, {}, ""}};
     shape_sweep.replicas = options.replicas;
     auto specs = exp::build_paper_scenarios(shape_sweep);
 

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     exp::PaperSweep sweep;
     sweep.traces = {{"paper-solar", {}, setup}};
     sweep.systems = {{"Our Approach", exp::SystemKind::kOursQLearning,
-                      bench::bench_episodes(options, 16), {}}};
+                      bench::bench_episodes(options, 16), {}, ""}};
     sweep.replicas = options.replicas;
     const auto specs = exp::build_paper_scenarios(sweep);
     const auto outcomes = bench::run_and_report(specs, options);

@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
     const auto setup = std::make_shared<const core::ExperimentSetup>(
         core::make_paper_setup(bench::bench_setup_config(options)));
     const exp::SystemSpec lut{"static LUT", exp::SystemKind::kOursStatic, 0,
-                              {}};
+                              {}, ""};
     const exp::SystemSpec learned{"Q-learning",
                                   exp::SystemKind::kOursQLearning,
                                   bench::bench_episodes(options, 16),
-                                  {}};
+                                  {}, ""};
 
     std::vector<exp::ScenarioSpec> specs;
     for (int replica = 0; replica < options.replicas; ++replica) {

@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
     exp::PaperSweep sweep;
     sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
     sweep.systems = {{"Q-learning", exp::SystemKind::kOursQLearning,
-                      bench::bench_episodes(options, 16), {}},
-                     {"static LUT", exp::SystemKind::kOursStatic, 0, {}}};
+                      bench::bench_episodes(options, 16), {}, ""},
+                     {"static LUT", exp::SystemKind::kOursStatic, 0, {}, ""}};
     sweep.replicas = options.replicas;
     const auto specs = exp::build_paper_scenarios(sweep);
     const auto outcomes = bench::run_and_report(specs, options);

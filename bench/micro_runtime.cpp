@@ -11,6 +11,7 @@
 #include "core/search.hpp"
 #include "core/trace_eval.hpp"
 #include "rl/ddpg.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -33,7 +34,7 @@ void BM_QLearningSelectAndUpdate(benchmark::State& state) {
                                      {60.0, 68.0, 70.0});
     for (auto _ : state) {
         const int e = policy.select_exit(s, model);
-        policy.observe(s, e, true);
+        policy.observe(s, e, true, true);
         benchmark::DoNotOptimize(e);
     }
     state.SetItemsProcessed(state.iterations());

@@ -11,6 +11,7 @@
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
 #include "core/runtime.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
 using namespace imx;

@@ -5,6 +5,7 @@
 #include "core/oracle_model.hpp"
 #include "core/trace_eval.hpp"
 #include "mcu/device.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
 namespace imx::core {

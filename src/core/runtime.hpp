@@ -1,104 +1,18 @@
-// Runtime exit selection and incremental inference (paper Sec. IV).
-//
-// Two Q-tables:
-//  * exit table — state = (stored-energy bin x charging-rate bin), actions =
-//    the m exits. Rewards chain between consecutive events (Eq. 16) so the
-//    policy learns energy *reservation*: a high-accuracy expensive exit now
-//    is worth less if it starves the next events. Missed events feed a
-//    penalty into the pending reward.
-//  * incremental table — state = (confidence bin x energy bin), actions =
-//    {emit, continue}; decides whether to propagate a low-confidence result
-//    to the next exit (second decision of Sec. IV).
+/// \file
+/// \brief Compatibility aliases for the Q-learning exit runtime, which now
+/// lives in the policy zoo (sim/policies/qlearning.hpp) so the registry in
+/// sim/policies/registry.hpp can construct it by name. Existing call sites
+/// keep using `core::RuntimeConfig` / `core::QLearningExitPolicy`; new code
+/// should include sim/policies/qlearning.hpp directly.
 #ifndef IMX_CORE_RUNTIME_HPP
 #define IMX_CORE_RUNTIME_HPP
 
-#include <cstdint>
-#include <optional>
-
-#include "rl/qtable.hpp"
-#include "sim/policy.hpp"
+#include "sim/policies/qlearning.hpp"
 
 namespace imx::core {
 
-struct RuntimeConfig {
-    std::size_t energy_bins = 8;
-    std::size_t rate_bins = 6;
-    std::size_t confidence_bins = 5;
-    std::size_t incremental_energy_bins = 6;
-    rl::QLearningConfig exit_q{/*alpha=*/0.10, /*gamma=*/0.60,
-                               /*epsilon=*/0.30, /*epsilon_decay=*/0.9997,
-                               /*epsilon_min=*/0.02, /*initial_q=*/0.5};
-    rl::QLearningConfig incremental_q{/*alpha=*/0.20, /*gamma=*/0.0,
-                                      /*epsilon=*/0.15,
-                                      /*epsilon_decay=*/0.999,
-                                      /*epsilon_min=*/0.02, /*initial_q=*/0.4};
-    double miss_penalty = 1.0;  ///< subtracted from the pending reward per miss
-    bool enable_incremental = true;
-    /// Energy headroom (fraction of capacity) required to consider continuing.
-    double incremental_headroom = 0.05;
-    /// Small cost term discouraging continuation that adds no correctness.
-    double continue_cost_penalty = 0.10;
-    /// Charging-rate discretizer range (mW); rates saturate at the top bin.
-    double max_rate_mw = 0.05;
-    std::uint64_t seed = 321;
-};
-
-class QLearningExitPolicy final : public sim::ExitPolicy {
-public:
-    QLearningExitPolicy(int num_exits, const RuntimeConfig& config);
-
-    int select_exit(const sim::EnergyState& state,
-                    const sim::InferenceModel& model) override;
-    bool continue_inference(const sim::EnergyState& state,
-                            const sim::InferenceModel& model, int current_exit,
-                            double confidence) override;
-    void observe(const sim::EnergyState& state_at_selection, int exit_taken,
-                 bool correct) override;
-    void observe_missed() override;
-
-    /// Freeze both tables (greedy, no updates) for evaluation episodes.
-    void set_eval_mode(bool eval);
-    [[nodiscard]] bool eval_mode() const { return eval_mode_; }
-
-    /// Combined LUT footprint (paper: "the overhead of Q-learning is
-    /// negligible"); tests assert this stays in the KB range.
-    [[nodiscard]] std::size_t footprint_bytes() const;
-
-    [[nodiscard]] const rl::QTable& exit_table() const { return exit_q_; }
-    [[nodiscard]] const rl::QTable& incremental_table() const {
-        return incremental_q_;
-    }
-
-private:
-    [[nodiscard]] std::size_t exit_state(const sim::EnergyState& s) const;
-    [[nodiscard]] std::size_t incremental_state(const sim::EnergyState& s,
-                                                double confidence) const;
-
-    int num_exits_;
-    RuntimeConfig config_;
-    rl::QTable exit_q_;
-    rl::QTable incremental_q_;
-    rl::Discretizer level_bins_;
-    rl::Discretizer rate_bins_;
-    rl::Discretizer conf_bins_;
-    rl::Discretizer inc_level_bins_;
-    bool eval_mode_ = false;
-
-    // Pending inter-event transition (Eq. 16 chaining).
-    struct Pending {
-        std::size_t state = 0;
-        std::size_t action = 0;
-        double reward = 0.0;
-    };
-    std::optional<Pending> pending_;
-
-    // Pending incremental decisions for the in-flight event.
-    struct PendingIncremental {
-        std::size_t state = 0;
-        std::size_t action = 0;
-    };
-    std::vector<PendingIncremental> pending_incremental_;
-};
+using RuntimeConfig = sim::RuntimeConfig;
+using QLearningExitPolicy = sim::QLearningExitPolicy;
 
 }  // namespace imx::core
 

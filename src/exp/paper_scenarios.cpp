@@ -11,6 +11,8 @@
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
 #include "core/trace_eval.hpp"
+#include "sim/policies/greedy.hpp"
+#include "sim/policies/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -90,6 +92,18 @@ SimPatch deadline_patch(double deadline_s) {
     return patch;
 }
 
+SimPatch policy_patch(const std::string& policy_name) {
+    // Fail at axis construction, not mid-sweep on a worker thread: the name
+    // must already be registered (built-in or register_policy()'d).
+    IMX_EXPECTS(sim::has_policy(policy_name));
+    SimPatch patch;
+    patch.label = "pol-" + policy_name;
+    patch.dims = {{"policy", policy_name}};
+    patch.apply = [](sim::SimConfig&) {};
+    patch.policy = policy_name;
+    return patch;
+}
+
 std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
                                     const std::vector<SimPatch>& b) {
     std::vector<SimPatch> product;
@@ -107,6 +121,7 @@ std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
                 if (apply_a) apply_a(cfg);
                 if (apply_b) apply_b(cfg);
             };
+            combined.policy = pb.policy.empty() ? pa.policy : pb.policy;
             product.push_back(std::move(combined));
         }
     }
@@ -116,17 +131,17 @@ std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
 std::vector<SystemSpec> paper_systems(int train_episodes) {
     std::vector<SystemSpec> systems;
     systems.push_back(
-        {"Our Approach", SystemKind::kOursQLearning, train_episodes, {}});
-    systems.push_back({"SonicNet", SystemKind::kSonicNet, 0, {}});
-    systems.push_back({"SpArSeNet", SystemKind::kSpArSeNet, 0, {}});
-    systems.push_back({"LeNet-Cifar", SystemKind::kLeNetCifar, 0, {}});
+        {"Our Approach", SystemKind::kOursQLearning, train_episodes, {}, ""});
+    systems.push_back({"SonicNet", SystemKind::kSonicNet, 0, {}, ""});
+    systems.push_back({"SpArSeNet", SystemKind::kSpArSeNet, 0, {}, ""});
+    systems.push_back({"LeNet-Cifar", SystemKind::kLeNetCifar, 0, {}, ""});
     return systems;
 }
 
 std::vector<SystemSpec> paper_systems_with_static(int train_episodes) {
     auto systems = paper_systems(train_episodes);
     systems.insert(systems.begin() + 1,
-                   {"Ours (static LUT)", SystemKind::kOursStatic, 0, {}});
+                   {"Ours (static LUT)", SystemKind::kOursStatic, 0, {}, ""});
     return systems;
 }
 
@@ -146,40 +161,53 @@ ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
     }
 
     switch (system.kind) {
-        case SystemKind::kOursQLearning: {
+        case SystemKind::kOursQLearning:
+        case SystemKind::kOursStatic:
+        case SystemKind::kOursPolicy: {
+            // Unified multi-exit path: resolve the exit policy by registry
+            // name. The historical kinds are sugar for their default names,
+            // so "qlearning"/"greedy" cells stay bitwise identical to the
+            // pre-registry code paths.
+            std::string policy_name = system.policy;
+            if (policy_name.empty()) {
+                IMX_EXPECTS(system.kind != SystemKind::kOursPolicy);
+                policy_name = system.kind == SystemKind::kOursQLearning
+                                  ? "qlearning"
+                                  : "greedy";
+            }
             core::OracleInferenceModel model(setup.network,
                                              setup.deployed_policy,
                                              setup.exit_accuracy);
-            core::RuntimeConfig runtime_cfg = system.runtime;
+            sim::PolicyContext policy_ctx;
+            policy_ctx.num_exits = setup.network.num_exits;
+            policy_ctx.runtime = system.runtime;
             if (ctx.replica != 0) {
                 std::uint64_t state = ctx.seed ^ 0x71706f6cULL;  // "qpol"
-                runtime_cfg.seed = util::splitmix64(state);
+                policy_ctx.runtime.seed = util::splitmix64(state);
             }
-            core::QLearningExitPolicy policy(setup.network.num_exits,
-                                             runtime_cfg);
+            const auto policy = sim::make_policy(policy_name, policy_ctx);
             sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
-            for (int ep = 0; ep < system.train_episodes; ++ep) {
-                const auto train_events = sim::generate_events(
-                    {static_cast<int>(setup.events.size()),
-                     setup.trace.duration(), sim::ArrivalKind::kUniform,
-                     train_seed(ctx, ep)});
-                const auto r = simulator.run(train_events, model, policy);
-                if (learning_curve != nullptr) {
-                    learning_curve->push_back(100.0 * r.accuracy_all_events());
+            // Learning policies train first (same canonical episode seeds as
+            // the historical Q-learning path), then evaluate frozen.
+            if (auto* learner =
+                    dynamic_cast<sim::QLearningExitPolicy*>(policy.get())) {
+                for (int ep = 0; ep < system.train_episodes; ++ep) {
+                    const auto train_events = sim::generate_events(
+                        {static_cast<int>(setup.events.size()),
+                         setup.trace.duration(), sim::ArrivalKind::kUniform,
+                         train_seed(ctx, ep)});
+                    const auto r = simulator.run(train_events, model, *policy);
+                    if (learning_curve != nullptr) {
+                        learning_curve->push_back(100.0 *
+                                                  r.accuracy_all_events());
+                    }
                 }
+                learner->set_eval_mode(true);
             }
-            policy.set_eval_mode(true);
-            return outcome_from(simulator.run(events, model, policy));
-        }
-        case SystemKind::kOursStatic: {
-            core::OracleInferenceModel model(setup.network,
-                                             setup.deployed_policy,
-                                             setup.exit_accuracy);
-            sim::GreedyAffordablePolicy policy;
-            sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
-            return outcome_from(simulator.run(events, model, policy));
+            return outcome_from(simulator.run(events, model, *policy));
         }
         default: {
+            IMX_EXPECTS(system.policy.empty());
             auto model = make_baseline(system.kind);
             sim::GreedyAffordablePolicy policy;
             sim::Simulator simulator(setup.trace, setup.checkpointed_sim);
@@ -212,7 +240,17 @@ std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep) {
                 patch.apply(patched->checkpointed_sim);
                 cell = std::move(patched);
             }
-            for (const auto& system : systems) {
+            for (const auto& base_system : systems) {
+                SystemSpec system = base_system;
+                if (!patch.policy.empty()) {
+                    // A policy override only makes sense on the multi-exit
+                    // runtime; crossing it with a checkpointed baseline is a
+                    // grid-construction error.
+                    IMX_EXPECTS(system.kind == SystemKind::kOursQLearning ||
+                                system.kind == SystemKind::kOursStatic ||
+                                system.kind == SystemKind::kOursPolicy);
+                    system.policy = patch.policy;
+                }
                 std::string group = trace_spec.label + "/" + system.label;
                 if (!patch.label.empty()) group += "/" + patch.label;
                 for (int replica = 0; replica < sweep.replicas; ++replica) {

@@ -31,6 +31,8 @@ namespace imx::exp {
 enum class SystemKind {
     kOursQLearning,  ///< multi-exit runtime, learned exit policy
     kOursStatic,     ///< multi-exit runtime, static greedy LUT
+    kOursPolicy,     ///< multi-exit runtime, policy named by SystemSpec /
+                     ///< policy_patch via the sim::policies registry
     kSonicNet,       ///< checkpointed baselines [Gobieski et al.]
     kSpArSeNet,
     kLeNetCifar,
@@ -39,8 +41,14 @@ enum class SystemKind {
 struct SystemSpec {
     std::string label;
     SystemKind kind = SystemKind::kOursQLearning;
-    int train_episodes = 16;            ///< Q-learning only
-    core::RuntimeConfig runtime = {};   ///< Q-learning only
+    int train_episodes = 16;            ///< learning policies only
+    core::RuntimeConfig runtime = {};   ///< learning policies only
+    /// Registry name of the exit policy to run (sim::make_policy). Resolved
+    /// per scenario: an explicit name (or one injected by policy_patch) wins;
+    /// otherwise kOursQLearning implies "qlearning" and kOursStatic implies
+    /// "greedy". Must be empty for the checkpointed baseline kinds, and
+    /// non-empty (or patched in) for kOursPolicy.
+    std::string policy;
 };
 
 struct TraceSpec {
@@ -69,6 +77,12 @@ struct SimPatch {
     /// Extra axis labels merged into every member spec's dims (and therefore
     /// into aggregate CSV columns), e.g. {"storage_mj", "3.0"}.
     std::map<std::string, std::string> dims;
+    /// Optional exit-policy override (a sim::policies registry name): every
+    /// multi-exit "ours" system in the patched cell runs this policy instead
+    /// of its kind's default. Empty = no override. Crossing a policy patch
+    /// with a checkpointed baseline system is a contract violation (the
+    /// baselines have no exit choice to override).
+    std::string policy;
 };
 
 // --- Patch-axis factories -------------------------------------------------
@@ -85,10 +99,17 @@ SimPatch storage_patch(double capacity_mj);
 /// \pre deadline_s > 0 (infinity allowed).
 SimPatch deadline_patch(double deadline_s);
 
+/// Exit-policy axis: names a sim::policies registry policy (validated at
+/// patch construction, so typos fail before the sweep runs) that every
+/// "ours" system in the cell must run. Labels the cell "pol-<name>" with
+/// dims {"policy": name}. The SimConfig itself is untouched.
+SimPatch policy_patch(const std::string& policy_name);
+
 /// Cross product of two patch axes, in a-major order: each combination
 /// applies both patches (a's then b's), joins non-empty labels with "+",
-/// and merges dims (b wins on key collision). Use to register e.g. a
-/// storage x deadline grid as one PaperSweep patch axis.
+/// and merges dims (b wins on key collision; likewise a non-empty policy
+/// override in b wins over a's). Use to register e.g. a storage x deadline
+/// x policy grid as one PaperSweep patch axis.
 std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
                                     const std::vector<SimPatch>& b);
 
@@ -111,7 +132,11 @@ std::vector<SystemSpec> paper_systems_with_static(int train_episodes = 16);
 std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep);
 
 /// Run one system on a prebuilt setup under the replica semantics above.
-/// Exposed for the learning-curve scenarios and targeted tests.
+/// Multi-exit systems resolve their exit policy through the sim::policies
+/// registry (SystemSpec::policy, with kOursQLearning defaulting to
+/// "qlearning" and kOursStatic to "greedy"); trainable policies get
+/// system.train_episodes training episodes first. Exposed for the
+/// learning-curve scenarios and targeted tests.
 ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
                                     const SystemSpec& system,
                                     const ScenarioContext& ctx,

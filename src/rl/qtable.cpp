@@ -108,4 +108,33 @@ std::size_t Discretizer::bin(double value) const {
     return std::min(b, bins_ - 1);
 }
 
+StateGrid::StateGrid(std::vector<std::size_t> dims)
+    : dims_(std::move(dims)), states_(1) {
+    IMX_EXPECTS(!dims_.empty());
+    for (const std::size_t d : dims_) {
+        IMX_EXPECTS(d > 0);
+        states_ *= d;
+    }
+}
+
+std::size_t StateGrid::flatten(const std::vector<std::size_t>& bins) const {
+    IMX_EXPECTS(bins.size() == dims_.size());
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        IMX_EXPECTS(bins[i] < dims_[i]);
+        index = index * dims_[i] + bins[i];
+    }
+    return index;
+}
+
+std::vector<std::size_t> StateGrid::unflatten(std::size_t state) const {
+    IMX_EXPECTS(state < states_);
+    std::vector<std::size_t> bins(dims_.size(), 0);
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+        bins[i] = state % dims_[i];
+        state /= dims_[i];
+    }
+    return bins;
+}
+
 }  // namespace imx::rl

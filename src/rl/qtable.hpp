@@ -73,6 +73,8 @@ private:
 };
 
 /// Uniform discretizer for a continuous signal in [lo, hi] into n bins.
+/// Values clamp into the range first, so +infinity (e.g. the deadline slack
+/// of a run with no deadline) always lands in the top bin.
 class Discretizer {
 public:
     Discretizer(double lo, double hi, std::size_t bins);
@@ -83,6 +85,33 @@ private:
     double lo_;
     double hi_;
     std::size_t bins_;
+};
+
+/// Row-major flattening of a multi-dimensional discretized state onto the
+/// flat state index a QTable expects — e.g. the exit runtime's
+/// (energy bin, rate bin, slack bin) triple. Trailing dimensions of size 1
+/// are free: they do not change the indices of the remaining dimensions, so
+/// a state space can grow a new axis without perturbing existing layouts.
+class StateGrid {
+public:
+    /// \param dims bins per dimension, outermost first; each must be > 0.
+    explicit StateGrid(std::vector<std::size_t> dims);
+
+    /// Total number of flat states (product of the dimensions).
+    [[nodiscard]] std::size_t states() const { return states_; }
+    [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+    /// Flat index of a bin tuple (size must equal dims().size(); every bin
+    /// must be inside its dimension).
+    [[nodiscard]] std::size_t flatten(
+        const std::vector<std::size_t>& bins) const;
+
+    /// Inverse of flatten(): the bin tuple of a flat state index.
+    [[nodiscard]] std::vector<std::size_t> unflatten(std::size_t state) const;
+
+private:
+    std::vector<std::size_t> dims_;
+    std::size_t states_;
 };
 
 }  // namespace imx::rl

@@ -1,0 +1,47 @@
+#include "sim/policies/greedy.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace imx::sim {
+
+namespace {
+
+/// Deepest exit in [0, num_exits) affordable at the current level under a
+/// depth cap — the shared core of both greedy LUTs.
+int deepest_affordable(const EnergyState& state, const InferenceModel& model,
+                       double safety_margin_mj, int max_depth) {
+    int chosen = -1;
+    const int limit = std::min(max_depth, model.num_exits() - 1);
+    for (int e = 0; e <= limit; ++e) {
+        const double cost = macs_energy_mj(state, model.exit_macs(e));
+        if (cost + safety_margin_mj <= state.level_mj) chosen = e;
+    }
+    return chosen;
+}
+
+}  // namespace
+
+int GreedyAffordablePolicy::select_exit(const EnergyState& state,
+                                        const InferenceModel& model) {
+    return deepest_affordable(state, model, safety_margin_mj_,
+                              model.num_exits() - 1);
+}
+
+SlackGreedyPolicy::SlackGreedyPolicy(double safety_margin_mj,
+                                     SlackSchedule schedule)
+    : safety_margin_mj_(safety_margin_mj), schedule_(std::move(schedule)) {
+    schedule_.validate();
+}
+
+int SlackGreedyPolicy::select_exit(const EnergyState& state,
+                                   const InferenceModel& model) {
+    const int cap = schedule_.max_depth(state.deadline_slack_s,
+                                        model.num_exits());
+    return deepest_affordable(state, model, safety_margin_mj_, cap);
+}
+
+}  // namespace imx::sim

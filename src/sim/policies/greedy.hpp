@@ -1,0 +1,71 @@
+/// \file
+/// \brief The static (non-learning) LUT policies: the paper's greedy
+/// baseline and its deadline-slack-aware variant.
+#ifndef IMX_SIM_POLICIES_GREEDY_HPP
+#define IMX_SIM_POLICIES_GREEDY_HPP
+
+#include "sim/policies/slack_schedule.hpp"
+#include "sim/policy.hpp"
+
+namespace imx::sim {
+
+/// \brief The static-LUT baseline of Sec. IV / Fig. 7.
+///
+/// Greedily selects the deepest exit whose from-scratch energy cost fits the
+/// currently stored energy; never runs incremental inference. Slack-blind:
+/// EnergyState::deadline_slack_s does not influence the choice.
+class GreedyAffordablePolicy final : public ExitPolicy {
+public:
+    /// \param safety_margin_mj energy kept in reserve so the run cannot
+    ///   brown out.
+    explicit GreedyAffordablePolicy(double safety_margin_mj = 0.0)
+        : safety_margin_mj_(safety_margin_mj) {}
+
+    int select_exit(const EnergyState& state,
+                    const InferenceModel& model) override;
+    bool continue_inference(const EnergyState&, const InferenceModel&, int,
+                            double) override {
+        return false;
+    }
+
+private:
+    double safety_margin_mj_;
+};
+
+/// \brief Deadline-aware variant of the greedy LUT.
+///
+/// Applies the greedy affordability rule *under a depth cap from the slack
+/// schedule*: as EnergyState::deadline_slack_s shrinks, deep exits drop out
+/// of consideration, so the policy commits to a cheaper exit that charges
+/// and computes within the remaining slack (and leaves the device free, and
+/// the buffer full, for the next arrival). With no deadline (infinite
+/// slack) the behaviour is identical to GreedyAffordablePolicy.
+class SlackGreedyPolicy final : public ExitPolicy {
+public:
+    /// \param safety_margin_mj energy kept in reserve, as in the greedy LUT.
+    /// \param schedule the slack-to-depth schedule (validated on
+    ///   construction: non-decreasing, first entry 0).
+    explicit SlackGreedyPolicy(double safety_margin_mj = 0.0,
+                               SlackSchedule schedule = {});
+
+    int select_exit(const EnergyState& state,
+                    const InferenceModel& model) override;
+    bool continue_inference(const EnergyState&, const InferenceModel&, int,
+                            double) override {
+        return false;
+    }
+
+    /// \brief The schedule's depth cap for a slack value (exposed so tests
+    /// can pin the monotone shallowing directly).
+    [[nodiscard]] int max_depth_for_slack(double slack_s, int num_exits) const {
+        return schedule_.max_depth(slack_s, num_exits);
+    }
+
+private:
+    double safety_margin_mj_;
+    SlackSchedule schedule_;
+};
+
+}  // namespace imx::sim
+
+#endif  // IMX_SIM_POLICIES_GREEDY_HPP

@@ -1,32 +1,57 @@
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
+
+#include <algorithm>
 
 #include "util/contracts.hpp"
 
-namespace imx::core {
+namespace imx::sim {
+
+RuntimeConfig slack_aware_runtime_config(RuntimeConfig base) {
+    // Two slack bins (urgent vs relaxed, split at max_slack_s / 2) keep the
+    // state space small enough that the paper's short training schedules
+    // still cover it; more bins dilute the per-state visit counts faster
+    // than they add signal.
+    if (base.slack_bins <= 1) {
+        base.slack_bins = 2;
+        base.max_slack_s = 60.0;
+    }
+    if (base.deadline_miss_penalty == 0.0) base.deadline_miss_penalty = 0.5;
+    base.cap_depth_by_slack = true;
+    return base;
+}
 
 QLearningExitPolicy::QLearningExitPolicy(int num_exits,
-                                         const RuntimeConfig& config)
+                                         const RuntimeConfig& config,
+                                         SlackSchedule schedule)
     : num_exits_(num_exits),
       config_(config),
-      exit_q_(config.energy_bins * config.rate_bins,
-              static_cast<std::size_t>(num_exits), config.exit_q, config.seed),
+      schedule_(std::move(schedule)),
+      exit_grid_({config.energy_bins, config.rate_bins, config.slack_bins}),
+      exit_q_(exit_grid_.states(), static_cast<std::size_t>(num_exits),
+              config.exit_q, config.seed),
       incremental_q_(config.confidence_bins * config.incremental_energy_bins, 2,
                      config.incremental_q, config.seed ^ 0x99),
       level_bins_(0.0, 1.0, config.energy_bins),
       rate_bins_(0.0, config.max_rate_mw, config.rate_bins),
+      slack_bins_(0.0, config.max_slack_s, config.slack_bins),
       conf_bins_(0.0, 1.0, config.confidence_bins),
       inc_level_bins_(0.0, 1.0, config.incremental_energy_bins) {
     IMX_EXPECTS(num_exits >= 1);
+    IMX_EXPECTS(config.max_slack_s > 0.0);
+    if (config_.cap_depth_by_slack) schedule_.validate();
 }
 
-std::size_t QLearningExitPolicy::exit_state(const sim::EnergyState& s) const {
+std::size_t QLearningExitPolicy::exit_state(const EnergyState& s) const {
     const std::size_t level_bin =
         level_bins_.bin(s.level_mj / std::max(s.capacity_mj, 1e-9));
     const std::size_t rate_bin = rate_bins_.bin(s.charge_rate_mw);
-    return level_bin * config_.rate_bins + rate_bin;
+    // Infinite slack (no deadline) clamps into the top bin, so a slack-blind
+    // configuration (slack_bins == 1) reproduces the historical indices.
+    const std::size_t slack_bin = slack_bins_.bin(s.deadline_slack_s);
+    return exit_grid_.flatten({level_bin, rate_bin, slack_bin});
 }
 
-std::size_t QLearningExitPolicy::incremental_state(const sim::EnergyState& s,
+std::size_t QLearningExitPolicy::incremental_state(const EnergyState& s,
                                                    double confidence) const {
     const std::size_t conf_bin = conf_bins_.bin(confidence);
     const std::size_t level_bin =
@@ -34,8 +59,8 @@ std::size_t QLearningExitPolicy::incremental_state(const sim::EnergyState& s,
     return conf_bin * config_.incremental_energy_bins + level_bin;
 }
 
-int QLearningExitPolicy::select_exit(const sim::EnergyState& state,
-                                     const sim::InferenceModel& model) {
+int QLearningExitPolicy::select_exit(const EnergyState& state,
+                                     const InferenceModel& model) {
     (void)model;
     const std::size_t s = exit_state(state);
 
@@ -44,21 +69,34 @@ int QLearningExitPolicy::select_exit(const sim::EnergyState& state,
         exit_q_.update(pending_->state, pending_->action, pending_->reward, s);
     }
 
-    const std::size_t action = eval_mode_ ? exit_q_.greedy(s) : exit_q_.select(s);
+    std::size_t action = eval_mode_ ? exit_q_.greedy(s) : exit_q_.select(s);
+    if (config_.cap_depth_by_slack) {
+        // Project onto the depth the remaining slack permits. The pending
+        // transition records the *executed* action, so off-policy Q-learning
+        // stays consistent under the cap.
+        const auto cap = static_cast<std::size_t>(
+            schedule_.max_depth(state.deadline_slack_s, num_exits_));
+        action = std::min(action, cap);
+    }
     pending_ = Pending{s, action, 0.0};
     pending_incremental_.clear();
     return static_cast<int>(action);
 }
 
-bool QLearningExitPolicy::continue_inference(const sim::EnergyState& state,
-                                             const sim::InferenceModel& model,
+bool QLearningExitPolicy::continue_inference(const EnergyState& state,
+                                             const InferenceModel& model,
                                              int current_exit,
                                              double confidence) {
     if (!config_.enable_incremental) return false;
     if (current_exit + 1 >= num_exits_) return false;
+    if (config_.cap_depth_by_slack &&
+        schedule_.max_depth(state.deadline_slack_s, num_exits_) <=
+            current_exit) {
+        return false;  // no slack for a deeper hop; no learning signal
+    }
     const std::int64_t inc =
         model.incremental_macs(current_exit, current_exit + 1);
-    const double cost = sim::macs_energy_mj(state, inc);
+    const double cost = macs_energy_mj(state, inc);
     if (cost + config_.incremental_headroom * state.capacity_mj >
         state.level_mj) {
         return false;  // not affordable with headroom; no learning signal
@@ -70,9 +108,11 @@ bool QLearningExitPolicy::continue_inference(const sim::EnergyState& state,
     return action == 1;
 }
 
-void QLearningExitPolicy::observe(const sim::EnergyState& /*state*/,
-                                  int /*exit_taken*/, bool correct) {
-    const double r = correct ? 1.0 : 0.0;
+void QLearningExitPolicy::observe(const EnergyState& /*state_at_selection*/,
+                                  int /*exit_taken*/, bool correct,
+                                  bool deadline_met) {
+    double r = correct ? 1.0 : 0.0;
+    if (!deadline_met) r -= config_.deadline_miss_penalty;
     if (pending_.has_value()) {
         // Stash; the bootstrap happens at the next select_exit call when the
         // successor state is known.
@@ -100,4 +140,4 @@ std::size_t QLearningExitPolicy::footprint_bytes() const {
     return exit_q_.footprint_bytes() + incremental_q_.footprint_bytes();
 }
 
-}  // namespace imx::core
+}  // namespace imx::sim

@@ -1,0 +1,29 @@
+#include "sim/policies/slack_schedule.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/contracts.hpp"
+
+namespace imx::sim {
+
+int SlackSchedule::max_depth(double slack_s, int num_exits) const {
+    IMX_EXPECTS(num_exits > 0);
+    int depth = 0;
+    for (int e = 1; e < num_exits; ++e) {
+        const std::size_t i =
+            std::min(static_cast<std::size_t>(e), min_slack_s.size() - 1);
+        if (min_slack_s[i] <= slack_s) depth = e;
+    }
+    return depth;
+}
+
+void SlackSchedule::validate() const {
+    IMX_EXPECTS(!min_slack_s.empty());
+    IMX_EXPECTS(min_slack_s.front() == 0.0);
+    for (std::size_t i = 1; i < min_slack_s.size(); ++i) {
+        IMX_EXPECTS(min_slack_s[i] >= min_slack_s[i - 1]);
+    }
+}
+
+}  // namespace imx::sim

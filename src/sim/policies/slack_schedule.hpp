@@ -1,0 +1,37 @@
+/// \file
+/// \brief Slack-to-depth schedule shared by the deadline-aware policies
+/// (SlackGreedyPolicy and the slack-aware Q-learning runtime).
+#ifndef IMX_SIM_POLICIES_SLACK_SCHEDULE_HPP
+#define IMX_SIM_POLICIES_SLACK_SCHEDULE_HPP
+
+#include <vector>
+
+namespace imx::sim {
+
+/// \brief Maps remaining deadline slack to the deepest exit worth
+/// committing to.
+///
+/// min_slack_s[e] is the minimum deadline slack (seconds) required to commit
+/// to exit index e; exits past the end of the vector require the last entry.
+/// Entries must be non-decreasing (deeper exits never need less slack) and
+/// entry 0 must be 0 so the cheapest exit is never slack-blocked. The
+/// defaults are calibrated against the paper setup's charge and compute
+/// times (exit 2 ≈ 1 MMAC ≈ 1.5 mJ ≈ tens of seconds of solar charging).
+struct SlackSchedule {
+    std::vector<double> min_slack_s = {0.0, 45.0, 120.0};
+
+    /// \brief Deepest exit index the schedule allows at a given slack.
+    /// \param slack_s the remaining deadline slack (infinity = no deadline).
+    /// \param num_exits the deployed model's exit count (> 0).
+    /// \return the largest exit index in [0, num_exits) whose minimum slack
+    ///   is <= slack_s; never negative because entry 0 is 0.
+    [[nodiscard]] int max_depth(double slack_s, int num_exits) const;
+
+    /// \brief Contract check (non-decreasing, first entry 0); called by the
+    /// policies that consume a schedule.
+    void validate() const;
+};
+
+}  // namespace imx::sim
+
+#endif  // IMX_SIM_POLICIES_SLACK_SCHEDULE_HPP

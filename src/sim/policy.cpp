@@ -6,14 +6,4 @@ double macs_energy_mj(const EnergyState& state, std::int64_t macs) {
     return static_cast<double>(macs) / 1e6 * state.energy_per_mmac_mj;
 }
 
-int GreedyAffordablePolicy::select_exit(const EnergyState& state,
-                                        const InferenceModel& model) {
-    int chosen = -1;
-    for (int e = 0; e < model.num_exits(); ++e) {
-        const double cost = macs_energy_mj(state, model.exit_macs(e));
-        if (cost + safety_margin_mj_ <= state.level_mj) chosen = e;
-    }
-    return chosen;
-}
-
 }  // namespace imx::sim

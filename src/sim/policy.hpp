@@ -1,35 +1,49 @@
 /// \file
-/// \brief Runtime exit-selection policy interface plus the static baseline
-/// policy.
+/// \brief Runtime exit-selection policy interface (paper Sec. IV).
 ///
-/// The paper's two sequential runtime decisions (Sec. IV) map to the two
-/// virtuals: select_exit() when the event is picked up, continue_inference()
-/// at each reached exit (incremental inference). Learning policies also get
-/// observe() feedback after the event resolves.
+/// The paper's two sequential runtime decisions map to the two virtuals:
+/// select_exit() when the event is picked up, continue_inference() at each
+/// reached exit (incremental inference). Learning policies also get
+/// observe()/observe_missed() feedback after the event resolves.
+///
+/// The built-in implementations live in `sim/policies/` (greedy LUTs in
+/// policies/greedy.hpp, the Q-learning runtime in policies/qlearning.hpp)
+/// and are constructible by name through the registry in
+/// policies/registry.hpp. docs/policies.md is the reference for the
+/// contract, every built-in's decision rule, and custom registration.
 #ifndef IMX_SIM_POLICY_HPP
 #define IMX_SIM_POLICY_HPP
 
+#include <cstdint>
 #include <limits>
 
 #include "sim/inference_model.hpp"
 
 namespace imx::sim {
 
-/// \brief Energy situation visible to the runtime.
+/// \brief Energy and timeliness situation visible to the runtime.
 ///
 /// Carries the Q-learning state variables of the paper (available energy E
 /// and charging efficiency P, both to be discretized by the policy) plus the
 /// deadline slack of the in-flight event when the scenario runs under an
 /// inference deadline (SimConfig::deadline_s).
 struct EnergyState {
-    double level_mj = 0.0;        ///< stored energy now
-    double capacity_mj = 0.0;     ///< storage capacity
-    double charge_rate_mw = 0.0;  ///< recent harvesting rate (EMA)
-    double energy_per_mmac_mj = 1.5;  ///< MCU energy cost per million MACs
-    /// Seconds left before the in-flight event's completion deadline; clamped
-    /// at 0 once the deadline has passed, infinity when the run has no
-    /// deadline. Deadline-aware policies can trade accuracy for timeliness
-    /// on this signal; the built-in policies ignore it.
+    /// Stored energy now, mJ.
+    double level_mj = 0.0;
+    /// Storage capacity, mJ (level_mj / capacity_mj is the paper's E).
+    double capacity_mj = 0.0;
+    /// Recent harvesting rate (EMA over harvested power), mW.
+    double charge_rate_mw = 0.0;
+    /// MCU energy cost per million MACs, mJ (paper: 1.5 mJ / MFLOP).
+    double energy_per_mmac_mj = 1.5;
+    /// Seconds left before the in-flight event's completion deadline;
+    /// clamped at 0 once the deadline has passed, infinity when the run has
+    /// no deadline. Deadline-aware policies trade accuracy for timeliness on
+    /// this signal: SlackGreedyPolicy caps its exit depth through a
+    /// slack-to-depth schedule, and the slack-binned Q-learning runtime
+    /// discretizes it into its state space (RuntimeConfig::slack_bins). The
+    /// slack-blind built-ins (GreedyAffordablePolicy and the default
+    /// Q-learning configuration) ignore it.
     double deadline_slack_s = std::numeric_limits<double>::infinity();
 };
 
@@ -63,37 +77,28 @@ public:
                                     int current_exit, double confidence) = 0;
 
     /// \brief Feedback after the event resolves (reward = outcome
-    /// correctness per paper Sec. IV). Default: stateless policy ignores it.
+    /// correctness per paper Sec. IV, plus timeliness for deadline-aware
+    /// learners). Default: stateless policy ignores it.
+    /// \param state_at_selection the EnergyState passed to the select_exit
+    ///   call that committed this event.
+    /// \param exit_taken the exit that produced the result.
+    /// \param correct whether the result was correct.
+    /// \param deadline_met whether the result was produced within the run's
+    ///   completion deadline; always true when the run has no deadline.
     virtual void observe(const EnergyState& /*state_at_selection*/,
-                         int /*exit_taken*/, bool /*correct*/) {}
+                         int /*exit_taken*/, bool /*correct*/,
+                         bool /*deadline_met*/) {}
 
-    /// \brief A missed event (device never got to run it). Learning policies
-    /// can penalize the preceding behaviour.
+    /// \brief A missed event (lost while the device was busy, or dropped as
+    /// hopeless at its deadline). Learning policies can penalize the
+    /// preceding behaviour.
     virtual void observe_missed() {}
 };
 
-/// \brief The static-LUT baseline of Sec. IV / Fig. 7.
-///
-/// Greedily selects the deepest exit whose from-scratch energy cost fits the
-/// currently stored energy; never runs incremental inference.
-class GreedyAffordablePolicy final : public ExitPolicy {
-public:
-    /// \param safety_margin_mj energy kept in reserve so the run cannot
-    ///   brown out.
-    explicit GreedyAffordablePolicy(double safety_margin_mj = 0.0)
-        : safety_margin_mj_(safety_margin_mj) {}
-
-    int select_exit(const EnergyState& state, const InferenceModel& model) override;
-    bool continue_inference(const EnergyState&, const InferenceModel&, int,
-                            double) override {
-        return false;
-    }
-
-private:
-    double safety_margin_mj_;
-};
-
 /// \brief Energy cost of `macs` MACs at the state's energy-per-MMAC rate.
+/// \param state supplies energy_per_mmac_mj.
+/// \param macs the MAC count to price.
+/// \return the cost in mJ.
 double macs_energy_mj(const EnergyState& state, std::int64_t macs);
 
 }  // namespace imx::sim

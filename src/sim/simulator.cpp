@@ -95,7 +95,11 @@ SimResult Simulator::run(const std::vector<Event>& events,
         record.inference_start_s = job.inference_start_s;
         record.energy_spent_mj = job.energy_spent_mj;
         record.macs = job.macs_done;
-        policy.observe(job.state_at_selection, job.reached_exit, outcome.correct);
+        // An infinite deadline is always met; otherwise compare the result's
+        // completion time against the event's own deadline.
+        const bool deadline_met = now - job.arrival_s <= config_.deadline_s;
+        policy.observe(job.state_at_selection, job.reached_exit,
+                       outcome.correct, deadline_met);
         busy = false;
     };
 

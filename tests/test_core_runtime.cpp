@@ -127,7 +127,7 @@ TEST(QLearningPolicy, SelectsValidExitsAndHasSmallFootprint) {
             state_with(i % 5 * 1.0, 5.0, 0.01 * (i % 4)), model);
         EXPECT_GE(e, 0);
         EXPECT_LT(e, 3);
-        policy.observe(state_with(1.0, 5.0, 0.01), e, true);
+        policy.observe(state_with(1.0, 5.0, 0.01), e, true, true);
     }
     // Paper: "the overhead of Q-learning is negligible" — LUT stays small.
     EXPECT_LE(policy.footprint_bytes(), 8u * 1024u);
@@ -145,7 +145,7 @@ TEST(QLearningPolicy, LearnsCheapExitWhenDeepExitsCauseMisses) {
     const auto s = state_with(2.0, 5.0, 0.02);
     for (int i = 0; i < 3000; ++i) {
         const int e = policy.select_exit(s, model);
-        policy.observe(s, e, true);  // always correct...
+        policy.observe(s, e, true, true);  // always correct...
         if (e > 0) {                 // ...but deep exits starve followers
             policy.observe_missed();
             policy.observe_missed();
@@ -164,7 +164,7 @@ TEST(QLearningPolicy, EvalModeIsGreedyAndFrozen) {
     const int first = policy.select_exit(s, model);
     for (int i = 0; i < 50; ++i) {
         EXPECT_EQ(policy.select_exit(s, model), first);
-        policy.observe(s, first, i % 2 == 0);
+        policy.observe(s, first, i % 2 == 0, true);
     }
 }
 

@@ -20,6 +20,7 @@
 #include "core/trace_eval.hpp"
 #include "exp/paper_scenarios.hpp"
 #include "exp/runner.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -126,7 +127,7 @@ TEST(StorageAxis, ReplicaZeroMatchesHandRolledCapacityVariant) {
 
     exp::PaperSweep sweep;
     sweep.traces = {{"mini", mini_config()}};
-    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}, ""}};
     sweep.patches = {exp::storage_patch(2.0)};
     const auto specs = exp::build_paper_scenarios(sweep);
     ASSERT_EQ(specs.size(), 1u);
@@ -256,7 +257,7 @@ TEST(DeadlineAxis, PolicySeesShrinkingSlack) {
 TEST(DeadlineAxis, SweepEmitsDeadlineMissMetricPerCell) {
     exp::PaperSweep sweep;
     sweep.traces = {{"mini", mini_config()}};
-    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}, ""}};
     sweep.patches = {exp::deadline_patch(30.0), exp::deadline_patch(kInf)};
     const auto specs = exp::build_paper_scenarios(sweep);
     ASSERT_EQ(specs.size(), 2u);
@@ -308,7 +309,7 @@ TEST(PortedScenarios, LearningCurveMatchesHandRolledTrainingLoop) {
         core::make_paper_setup(mini_config()));
     const int episodes = 2;
     const exp::SystemSpec system{
-        "ql", exp::SystemKind::kOursQLearning, episodes, {}};
+        "ql", exp::SystemKind::kOursQLearning, episodes, {}, ""};
 
     const auto spec = exp::make_learning_curve_scenario(setup, system, "mini");
     const auto outcomes = exp::run_sweep({spec}, {1});

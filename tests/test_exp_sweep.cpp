@@ -255,12 +255,12 @@ TEST(PaperGrid, ComposesTraceSystemReplicaProduct) {
 TEST(PaperGrid, SeedsIndependentOfGridPosition) {
     exp::PaperSweep small;
     small.traces = {{"t1", {}}};
-    small.systems = {{"sys", exp::SystemKind::kOursStatic, 0, {}}};
+    small.systems = {{"sys", exp::SystemKind::kOursStatic, 0, {}, ""}};
     small.replicas = 2;
 
     exp::PaperSweep large = small;
     large.systems.insert(large.systems.begin(),
-                         {"other", exp::SystemKind::kSonicNet, 0, {}});
+                         {"other", exp::SystemKind::kSonicNet, 0, {}, ""});
 
     const auto specs_small = exp::build_paper_scenarios(small);
     const auto specs_large = exp::build_paper_scenarios(large);
@@ -286,9 +286,9 @@ exp::PaperSweep small_real_sweep() {
     config.duration_s = 1500.0;
     config.total_harvest_mj = 35.0;
     sweep.traces = {{"mini", config}};
-    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}},
-                     {"ours-ql", exp::SystemKind::kOursQLearning, 2, {}},
-                     {"sonic", exp::SystemKind::kSonicNet, 0, {}}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}, ""},
+                     {"ours-ql", exp::SystemKind::kOursQLearning, 2, {}, ""},
+                     {"sonic", exp::SystemKind::kSonicNet, 0, {}, ""}};
     sweep.replicas = 2;
     return sweep;
 }
@@ -316,7 +316,7 @@ TEST(PaperGrid, ReplicaZeroMatchesDirectCanonicalRun) {
     const auto outcomes = exp::run_sweep(specs, {2});
 
     exp::SystemSpec static_spec{"ours-static", exp::SystemKind::kOursStatic,
-                                0, {}};
+                                0, {}, ""};
     const auto direct =
         exp::run_system_scenario(setup, static_spec, exp::ScenarioContext{});
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -363,12 +363,13 @@ TEST(SimPatch, AppliesToScenarioConfigs) {
     config.duration_s = 1000.0;
     config.total_harvest_mj = 20.0;
     sweep.traces = {{"mini", config}};
-    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}, ""}};
     sweep.patches = {
-        {"base", [](sim::SimConfig&) {}, {}},
+        {"base", [](sim::SimConfig&) {}, {}, ""},
         {"tiny-storage",
          [](sim::SimConfig& c) { c.storage.capacity_mj = 0.8; },
-         {}},
+         {},
+         ""},
     };
     const auto specs = exp::build_paper_scenarios(sweep);
     ASSERT_EQ(specs.size(), 2u);

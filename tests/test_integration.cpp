@@ -12,6 +12,7 @@
 #include "core/runtime.hpp"
 #include "data/synth_cifar.hpp"
 #include "nn/train.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
 namespace {

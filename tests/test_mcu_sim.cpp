@@ -8,6 +8,7 @@
 #include "mcu/device.hpp"
 #include "sim/event_gen.hpp"
 #include "sim/metrics.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 

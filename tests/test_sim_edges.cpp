@@ -7,6 +7,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
+#include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
