@@ -1,158 +1,16 @@
 // Deadline x exit-policy ablation: how each registry policy (greedy /
 // slack-greedy / qlearning / slack-qlearning by default) trades deadline
-// misses against accuracy as the completion deadline tightens. The
-// slack-aware variants read EnergyState::deadline_slack_s — the greedy LUT
-// through its slack-to-depth schedule, the Q runtime through the slack bin
-// in its state plus the deadline-miss reward penalty — so they shed exit
-// depth when the deadline bites. The closing summary compares each
-// slack-aware policy against its slack-blind counterpart per deadline cell.
+// misses against accuracy as the completion deadline tightens. Thin shim
+// over the "ablation-deadline-policy" registry entry.
 //
 // Usage: bench_ablation_deadline_policy [policy,policy,...]
 //                                       [--quick] [--replicas N]
 //                                       [--threads N] [--csv PATH]
+//                                       [--base-seed N]
 // The optional positional argument is a comma-separated list of registry
 // policy names (default: every built-in; see docs/policies.md).
-#include <cstdio>
-#include <iostream>
-#include <limits>
-#include <stdexcept>
-#include <string>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "sim/policies/registry.hpp"
-
-using namespace imx;
-
-namespace {
-
-std::vector<std::string> parse_policy_list(const bench::BenchOptions& options) {
-    if (options.positional.empty()) return sim::policy_names();
-    if (options.positional.size() > 1) {
-        std::fprintf(stderr, "error: unexpected argument '%s'\n",
-                     options.positional[1].c_str());
-        std::exit(2);
-    }
-    std::vector<std::string> names;
-    const std::string& list = options.positional[0];
-    std::size_t start = 0;
-    while (start <= list.size()) {
-        const std::size_t comma = list.find(',', start);
-        const std::string name =
-            list.substr(start, comma == std::string::npos ? std::string::npos
-                                                          : comma - start);
-        if (!name.empty()) names.push_back(name);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-    }
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        // A duplicate would register two identical grid cells under one
-        // group label and silently skew the aggregation's replica counts.
-        for (std::size_t j = 0; j < i; ++j) {
-            if (names[i] == names[j]) {
-                std::fprintf(stderr, "error: duplicate policy '%s'\n",
-                             names[i].c_str());
-                std::exit(2);
-            }
-        }
-        const std::string& name = names[i];
-        if (!sim::has_policy(name)) {
-            // Reuse the registry's own diagnostic (it lists every
-            // registered name) instead of duplicating the format here.
-            try {
-                (void)sim::make_policy(name);
-            } catch (const std::invalid_argument& e) {
-                std::fprintf(stderr, "error: %s\n", e.what());
-            }
-            std::exit(2);
-        }
-    }
-    if (names.empty()) {
-        std::fprintf(stderr, "error: empty policy list\n");
-        std::exit(2);
-    }
-    return names;
-}
-
-}  // namespace
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    const auto policies = parse_policy_list(options);
-
-    const std::vector<double> deadlines = {
-        30.0, 60.0, 120.0, 240.0, std::numeric_limits<double>::infinity()};
-
-    exp::PaperSweep sweep;
-    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
-    sweep.systems = {{"ours", exp::SystemKind::kOursPolicy,
-                      bench::bench_episodes(options, 12), {}, ""}};
-    std::vector<exp::SimPatch> deadline_axis;
-    for (const double d : deadlines) {
-        deadline_axis.push_back(exp::deadline_patch(d));
-    }
-    std::vector<exp::SimPatch> policy_axis;
-    for (const auto& name : policies) {
-        policy_axis.push_back(exp::policy_patch(name));
-    }
-    sweep.patches = exp::cross_patches(deadline_axis, policy_axis);
-    sweep.replicas = options.replicas;
-
-    const auto specs = exp::build_paper_scenarios(sweep);
-    const auto outcomes = bench::run_and_report(specs, options);
-
-    exp::aggregate_table(
-        exp::aggregate(specs, outcomes),
-        {"deadline_miss_pct", "acc_all_pct", "iepmj", "processed",
-         "event_latency_s"},
-        "Deadline x policy ablation (" + std::to_string(options.replicas) +
-            " replica(s); mean ± 95% CI when > 1)")
-        .print(std::cout);
-
-    // Canonical (replica-0) slack-aware vs slack-blind comparison per
-    // finite-deadline cell: the pairs share everything but slack awareness.
-    const auto group_for = [&](const std::string& policy,
-                               const exp::SimPatch& ddl) {
-        return "paper-solar/ours/" + ddl.label + "+pol-" + policy;
-    };
-    const auto have = [&](const std::string& name) {
-        for (const auto& p : policies) {
-            if (p == name) return true;
-        }
-        return false;
-    };
-    const struct {
-        const char* blind;
-        const char* aware;
-    } pairs[] = {{"greedy", "slack-greedy"}, {"qlearning", "slack-qlearning"}};
-    std::printf("\nslack-aware vs slack-blind, canonical run:\n");
-    for (const auto& pair : pairs) {
-        if (!have(pair.blind) || !have(pair.aware)) continue;
-        for (const auto& ddl : deadline_axis) {
-            if (ddl.label == "ddl-none") continue;
-            const auto& blind = bench::canonical_metrics(
-                specs, outcomes, group_for(pair.blind, ddl));
-            const auto& aware = bench::canonical_metrics(
-                specs, outcomes, group_for(pair.aware, ddl));
-            const double blind_miss = blind.at("deadline_miss_pct");
-            const double aware_miss = aware.at("deadline_miss_pct");
-            std::printf(
-                "  %-8s %-15s -> %-15s miss %6.1f%% -> %6.1f%%  "
-                "acc(all) %5.1f%% -> %5.1f%%  %s\n",
-                ddl.label.c_str(), pair.blind, pair.aware, blind_miss,
-                aware_miss, blind.at("acc_all_pct"), aware.at("acc_all_pct"),
-                aware_miss < blind_miss   ? "(miss rate down)"
-                : aware_miss > blind_miss ? "(miss rate up)"
-                                          : "(tied)");
-        }
-    }
-
-    std::printf(
-        "\nnotes: with no deadline (ddl-none) the slack-aware policies "
-        "collapse onto their slack-blind counterparts (infinite slack caps "
-        "nothing). Under tight deadlines they commit to shallower exits, "
-        "which finishes sooner, spends less per event, and frees the device "
-        "for the next arrival — fewer deadline misses at some accuracy "
-        "cost.\n");
-    return 0;
+    return imx::exp::experiment_main("ablation-deadline-policy", argc, argv);
 }

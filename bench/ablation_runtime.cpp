@@ -1,125 +1,12 @@
 // Ablation A1 (DESIGN.md), runtime side: incremental inference on/off,
 // miss-penalty sweep (the energy-reservation signal), and storage-capacity
-// sensitivity of the Q-learning runtime. All three ablation grids expand to
-// ScenarioSpecs (the capacity grid through the exp::storage_patch axis) and
-// run as one parallel sweep through the exp:: engine.
+// sensitivity of the Q-learning runtime. Thin shim over the
+// "ablation-runtime" registry entry.
 //
 // Usage: bench_ablation_runtime [--quick] [--replicas N] [--threads N]
-//                               [--csv PATH]
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "bench_common.hpp"
-
-using namespace imx;
+//                               [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    const auto setup_cfg = bench::bench_setup_config(options);
-    const auto setup = std::make_shared<const core::ExperimentSetup>(
-        core::make_paper_setup(setup_cfg));
-    const exp::TraceSpec trace{"paper-solar", setup_cfg, setup};
-    const int eps_full = bench::bench_episodes(options, 16);
-    const int eps_capacity = bench::bench_episodes(options, 12);
-
-    // Grid 1: incremental inference (the second Q-table) on/off.
-    exp::PaperSweep incremental_sweep;
-    incremental_sweep.traces = {trace};
-    core::RuntimeConfig no_incremental;
-    no_incremental.enable_incremental = false;
-    incremental_sweep.systems = {
-        {"with incremental (paper)", exp::SystemKind::kOursQLearning,
-         eps_full, {}, ""},
-        {"without", exp::SystemKind::kOursQLearning, eps_full,
-         no_incremental, ""}};
-    incremental_sweep.replicas = options.replicas;
-    auto specs = exp::build_paper_scenarios(incremental_sweep);
-
-    // Grid 2: miss-penalty (energy-reservation signal) sweep.
-    const double penalties[] = {0.0, 0.5, 1.0, 2.0};
-    exp::PaperSweep penalty_sweep;
-    penalty_sweep.traces = {trace};
-    for (const double penalty : penalties) {
-        core::RuntimeConfig cfg;
-        cfg.miss_penalty = penalty;
-        penalty_sweep.systems.push_back(
-            {"penalty " + util::fixed(penalty, 1),
-             exp::SystemKind::kOursQLearning, eps_full, cfg, ""});
-    }
-    penalty_sweep.replicas = options.replicas;
-    for (auto& spec : exp::build_paper_scenarios(penalty_sweep)) {
-        specs.push_back(std::move(spec));
-    }
-
-    // Grid 3: storage-capacity axis (QL vs static LUT per capacity).
-    const double capacities[] = {1.5, 3.0, 6.0, 12.0};
-    exp::PaperSweep capacity_sweep;
-    capacity_sweep.traces = {trace};
-    capacity_sweep.systems = {
-        {"Q-learning", exp::SystemKind::kOursQLearning, eps_capacity, {}, ""},
-        {"static LUT", exp::SystemKind::kOursStatic, 0, {}, ""}};
-    capacity_sweep.patches.clear();  // only the explicit capacities run
-    for (const double capacity : capacities) {
-        capacity_sweep.patches.push_back(exp::storage_patch(capacity));
-    }
-    capacity_sweep.replicas = options.replicas;
-    for (auto& spec : exp::build_paper_scenarios(capacity_sweep)) {
-        specs.push_back(std::move(spec));
-    }
-
-    const auto outcomes = bench::run_and_report(specs, options);
-
-    util::Table t1("Ablation — incremental inference (second Q-table)");
-    t1.header({"variant", "IEpmJ", "acc all %", "acc processed %", "processed"});
-    for (const char* variant : {"with incremental (paper)", "without"}) {
-        const auto& r = bench::canonical_sim(
-            specs, outcomes, std::string("paper-solar/") + variant);
-        t1.row({variant, util::fixed(r.iepmj(), 3),
-                util::fixed(100.0 * r.accuracy_all_events(), 1),
-                util::fixed(100.0 * r.accuracy_processed(), 1),
-                std::to_string(r.processed_count())});
-    }
-    t1.print(std::cout);
-
-    util::Table t2("Ablation — miss penalty (energy-reservation signal)");
-    t2.header({"miss penalty", "IEpmJ", "acc all %", "exit-1 share %"});
-    for (const double penalty : penalties) {
-        const auto& r = bench::canonical_sim(
-            specs, outcomes, "paper-solar/penalty " + util::fixed(penalty, 1));
-        const auto hist = r.exit_histogram(3);
-        t2.row({util::fixed(penalty, 1), util::fixed(r.iepmj(), 3),
-                util::fixed(100.0 * r.accuracy_all_events(), 1),
-                util::fixed(100.0 * hist[0] /
-                                std::max(r.processed_count(), 1),
-                            1)});
-    }
-    t2.print(std::cout);
-
-    util::Table t3("Ablation — storage capacity (mJ)");
-    t3.header({"capacity", "IEpmJ (QL)", "IEpmJ (LUT)", "processed QL/LUT"});
-    for (const double capacity : capacities) {
-        const std::string suffix = "/" + exp::storage_patch(capacity).label;
-        const auto& ql = bench::canonical_sim(
-            specs, outcomes, "paper-solar/Q-learning" + suffix);
-        const auto& lut = bench::canonical_sim(
-            specs, outcomes, "paper-solar/static LUT" + suffix);
-        t3.row({util::fixed(capacity, 1), util::fixed(ql.iepmj(), 3),
-                util::fixed(lut.iepmj(), 3),
-                std::to_string(ql.processed_count()) + "/" +
-                    std::to_string(lut.processed_count())});
-    }
-    t3.print(std::cout);
-
-    std::printf(
-        "\nnotes: the reservation signal (miss penalty) is what teaches the "
-        "runtime to favor cheap exits; with penalty 0 the learner chases "
-        "per-event accuracy like the static LUT does.\n");
-
-    bench::print_replica_aggregate(specs, outcomes,
-                                   {"iepmj", "acc_all_pct", "processed"},
-                                   options);
-    return 0;
+    return imx::exp::experiment_main("ablation-runtime", argc, argv);
 }

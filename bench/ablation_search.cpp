@@ -1,121 +1,12 @@
 // Ablation A1 (DESIGN.md): compression-search algorithm comparison under an
 // equal evaluation budget, plus the power-trace-awareness ablation of the
-// reward (Eq. 10 weighting vs plain mean exit accuracy). The five searches
-// (four algorithms plus the trace-blind DDPG) run as one parallel sweep of
-// exp:: search scenarios; the full SearchResults come back via the outcome
-// payloads.
+// reward (Eq. 10 weighting vs plain mean exit accuracy). Thin shim over the
+// "ablation-search" registry entry.
 //
 // Usage: bench_ablation_search [episodes] [--quick] [--replicas N]
-//                              [--threads N] [--csv PATH]
-#include <any>
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "bench_common.hpp"
-#include "core/search.hpp"
-#include "core/trace_eval.hpp"
-
-using namespace imx;
+//                              [--threads N] [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    // An explicit positional episode count always wins over --quick.
-    const int episodes =
-        exp::positional_int(options, 0, options.quick ? 40 : 240);
-
-    const auto setup = std::make_shared<const core::ExperimentSetup>(
-        core::make_paper_setup(bench::bench_setup_config(options)));
-    core::SearchConfig cfg;
-    cfg.episodes = episodes;
-    core::SearchConfig blind_cfg = cfg;
-    blind_cfg.trace_aware = false;
-
-    const struct {
-        exp::SearchAlgo algo;
-        const char* label;
-        const core::SearchConfig* config;
-    } searches[] = {
-        {exp::SearchAlgo::kDdpg, "DDPG (paper)", &cfg},
-        {exp::SearchAlgo::kDdpgRefined, "DDPG + refine", &cfg},
-        {exp::SearchAlgo::kRandom, "random", &cfg},
-        {exp::SearchAlgo::kAnnealing, "annealing", &cfg},
-        {exp::SearchAlgo::kDdpgRefined, "DDPG + refine (trace-blind)",
-         &blind_cfg},
-    };
-    std::vector<exp::ScenarioSpec> specs;
-    for (const auto& search : searches) {
-        for (int replica = 0; replica < options.replicas; ++replica) {
-            specs.push_back(exp::make_search_scenario(
-                setup, search.algo, search.label, *search.config, replica));
-        }
-    }
-    const auto outcomes = bench::run_and_report(specs, options);
-    const auto canonical_result = [&](const char* label) {
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            if (specs[i].group == std::string("search/") + label &&
-                specs[i].replica == 0) {
-                return std::any_cast<core::SearchResult>(outcomes[i].payload);
-            }
-        }
-        std::fprintf(stderr, "no search result for %s\n", label);
-        std::abort();
-    };
-
-    // The deployed evaluation stack (trace-aware reward) for the reference
-    // rows and the trace-awareness comparison below.
-    const auto& desc = setup->network;
-    const core::AccuracyModel oracle(
-        desc, {core::kPaperFullPrecisionAcc.begin(),
-               core::kPaperFullPrecisionAcc.end()});
-    const core::StaticTraceEvaluator trace_eval(
-        setup->trace, setup->events, core::paper_storage_config(),
-        core::kEnergyPerMMacMj);
-    const core::PolicyEvaluator evaluator(desc, oracle, trace_eval,
-                                          core::paper_constraints(), true);
-
-    util::Table table("Ablation — search algorithms, equal evaluation budget");
-    table.header({"algorithm", "evals", "feasible", "best Racc"});
-    for (const char* label :
-         {"DDPG (paper)", "DDPG + refine", "random", "annealing"}) {
-        const auto r = canonical_result(label);
-        table.row({label, std::to_string(r.evaluations),
-                   r.found_feasible ? "yes" : "no",
-                   util::fixed(r.best_reward, 4)});
-    }
-    table.row({"uniform fit", "1", "yes",
-               util::fixed(evaluator.score(core::uniform_baseline_policy()).racc,
-                           4)});
-    table.row({"reference nonuniform", "1", "yes",
-               util::fixed(
-                   evaluator.score(core::reference_nonuniform_policy()).racc,
-                   4)});
-    table.print(std::cout);
-
-    // --- Trace-awareness ablation ---
-    // Search with the plain mean-accuracy reward, then evaluate BOTH winners
-    // under the trace objective: ignoring the power trace picks policies
-    // whose expensive exits miss events.
-    const auto blind_best = canonical_result("DDPG + refine (trace-blind)");
-    const auto aware_best = canonical_result("DDPG + refine");
-
-    const double blind_under_trace =
-        evaluator.score(blind_best.best_policy).racc;
-    const double aware_under_trace =
-        evaluator.score(aware_best.best_policy).racc;
-
-    util::Table t2("Ablation — power-trace-aware reward (Eq. 10) vs plain mean");
-    t2.header({"search reward", "Racc under trace objective"});
-    t2.row({"trace-aware (paper)", util::fixed(aware_under_trace, 4)});
-    t2.row({"plain mean accuracy", util::fixed(blind_under_trace, 4)});
-    t2.print(std::cout);
-    std::printf(
-        "\ntrace-aware search wins by %+.1f%% on the deployed objective\n",
-        100.0 * (aware_under_trace - blind_under_trace) /
-            std::max(blind_under_trace, 1e-9));
-
-    bench::print_replica_aggregate(specs, outcomes,
-                                   {"best_racc", "evaluations", "feasible"},
-                                   options);
-    return 0;
+    return imx::exp::experiment_main("ablation-search", argc, argv);
 }

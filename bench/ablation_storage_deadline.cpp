@@ -1,68 +1,14 @@
 // Design-space sweep over three scenario axes: energy-storage capacity x
 // inference deadline x exit policy (every sim::policies registry built-in).
-// The full factorial registers through exp::cross_patches, so one PaperSweep
-// covers the whole trace x storage x deadline x policy grid; the aggregate
-// table and CSV include the deadline-miss-rate column next to the paper's
-// forward-progress metrics. The pol-greedy / pol-qlearning slices reproduce
-// the bench's historical static-LUT / Q-learning cells bitwise at replica 0
-// (pinned by tests/test_policies.cpp). (Related work motivates the axes:
-// harvested-energy regimes in Gobieski et al., energy/deadline constraints
-// in Bullo et al.)
+// Thin shim over the "ablation-storage-deadline" registry entry — the same
+// grid is also expressible as a pure spec file, see
+// examples/experiments/storage_deadline_policy.ini.
 //
 // Usage: bench_ablation_storage_deadline [--quick] [--replicas N]
 //                                        [--threads N] [--csv PATH]
-#include <cstdio>
-#include <iostream>
-#include <limits>
-
-#include "bench_common.hpp"
-#include "sim/policies/registry.hpp"
-
-using namespace imx;
+//                                        [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    exp::PaperSweep sweep;
-    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
-    // One multi-exit system; the policy axis below picks the exit policy
-    // per cell (train_episodes only applies to the learning policies).
-    sweep.systems = {{"ours", exp::SystemKind::kOursPolicy,
-                      bench::bench_episodes(options, 12), {}, ""}};
-    const std::vector<exp::SimPatch> storage_axis = {
-        exp::storage_patch(3.0), exp::storage_patch(6.0),
-        exp::storage_patch(12.0)};
-    const std::vector<exp::SimPatch> deadline_axis = {
-        exp::deadline_patch(60.0), exp::deadline_patch(240.0),
-        exp::deadline_patch(std::numeric_limits<double>::infinity())};
-    std::vector<exp::SimPatch> policy_axis;
-    for (const auto& name : sim::policy_names()) {
-        policy_axis.push_back(exp::policy_patch(name));
-    }
-    sweep.patches = exp::cross_patches(
-        exp::cross_patches(storage_axis, deadline_axis), policy_axis);
-    sweep.replicas = options.replicas;
-
-    const auto specs = exp::build_paper_scenarios(sweep);
-    const auto outcomes = bench::run_and_report(specs, options);
-
-    exp::aggregate_table(
-        exp::aggregate(specs, outcomes),
-        {"iepmj", "processed", "deadline_miss_pct", "acc_all_pct",
-         "event_latency_s"},
-        "Storage x deadline x policy sweep (" +
-            std::to_string(options.replicas) +
-            " replica(s); mean ± 95% CI when > 1)")
-        .print(std::cout);
-
-    std::printf(
-        "\nnotes: a tight deadline turns slow waiting into explicit misses "
-        "(deadline_miss_pct) but frees the device for the next arrival; "
-        "larger storage buffers more night/cloud energy, which lifts "
-        "processed counts until capacity stops binding; the slack-aware "
-        "policies (pol-slack-*) trade exit depth for timeliness when the "
-        "deadline bites. Groups are trace/ours/capXmJ+ddlYs+pol-NAME; use "
-        "--csv for the full per-cell statistics.\n");
-    return 0;
+    return imx::exp::experiment_main("ablation-storage-deadline", argc, argv);
 }

@@ -1,145 +1,12 @@
 // Ablation A1 (DESIGN.md): robustness of the runtime to the EH environment —
 // different power traces (daylight solar, full day with night gap, square
-// wave, constant) and arrival processes (uniform, Poisson, bursty). Every
-// environment is a TraceSpec on the exp:: grid's trace axis, so the whole
-// ablation runs as one parallel sweep (quick mode shrinks the trace
-// durations and event counts proportionally, like the fig* benches).
+// wave, constant) and arrival processes (uniform, Poisson, bursty). Thin
+// shim over the "ablation-trace" registry entry.
 //
 // Usage: bench_ablation_trace [--quick] [--replicas N] [--threads N]
-//                             [--csv PATH]
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "bench_common.hpp"
-#include "energy/solar.hpp"
-
-using namespace imx;
-
-namespace {
-
-/// Swap the power trace under the deployed system: rescale to the canonical
-/// harvest budget and regenerate the canonical event schedule over the new
-/// trace's duration.
-std::shared_ptr<const core::ExperimentSetup> with_trace(
-    const core::ExperimentSetup& base, const core::SetupConfig& cfg,
-    energy::PowerTrace trace, sim::ArrivalKind arrivals,
-    std::uint64_t event_seed) {
-    auto setup = std::make_shared<core::ExperimentSetup>(base);
-    trace.rescale_total_energy(cfg.total_harvest_mj);
-    setup->events = sim::generate_events(
-        {cfg.event_count, trace.duration(), arrivals, event_seed});
-    setup->trace = std::move(trace);
-    return setup;
-}
-
-}  // namespace
+//                             [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    const auto setup_cfg = bench::bench_setup_config(options);
-    const auto base = std::make_shared<const core::ExperimentSetup>(
-        core::make_paper_setup(setup_cfg));
-    const int episodes = bench::bench_episodes(options, 12);
-
-    // Trace-shape axis (same harvest budget for every shape).
-    energy::SolarConfig full_day;
-    full_day.dt_s = 1.0;
-    full_day.peak_power_mw = 0.08;
-    full_day.time_compression = 86400.0 / setup_cfg.duration_s;  // night gap
-    const char* trace_labels[] = {"daylight solar (paper setup)",
-                                  "full day incl. night",
-                                  "square wave 60s/50%", "constant power"};
-    exp::PaperSweep shape_sweep;
-    shape_sweep.traces = {
-        {trace_labels[0],
-         setup_cfg,
-         with_trace(*base, setup_cfg, base->trace,
-                    sim::ArrivalKind::kUniform, setup_cfg.event_seed)},
-        {trace_labels[1],
-         setup_cfg,
-         with_trace(*base, setup_cfg, energy::make_solar_trace(full_day),
-                    sim::ArrivalKind::kUniform, setup_cfg.event_seed)},
-        {trace_labels[2],
-         setup_cfg,
-         with_trace(*base, setup_cfg,
-                    energy::PowerTrace::square_wave(0.05, 60.0, 0.5,
-                                                    setup_cfg.duration_s, 1.0),
-                    sim::ArrivalKind::kUniform, setup_cfg.event_seed)},
-        {trace_labels[3],
-         setup_cfg,
-         with_trace(*base, setup_cfg,
-                    energy::PowerTrace::constant(0.0217, setup_cfg.duration_s,
-                                                 1.0),
-                    sim::ArrivalKind::kUniform, setup_cfg.event_seed)},
-    };
-    shape_sweep.systems = {
-        {"Q-learning", exp::SystemKind::kOursQLearning, episodes, {}, ""},
-        {"static LUT", exp::SystemKind::kOursStatic, 0, {}, ""}};
-    shape_sweep.replicas = options.replicas;
-    auto specs = exp::build_paper_scenarios(shape_sweep);
-
-    // Arrival-process axis (daylight solar, fresh arrival seed 321).
-    const struct {
-        sim::ArrivalKind kind;
-        const char* label;
-    } arrival_cases[] = {{sim::ArrivalKind::kUniform, "uniform (paper)"},
-                         {sim::ArrivalKind::kPoisson, "Poisson"},
-                         {sim::ArrivalKind::kBursty, "bursty 2-5"}};
-    exp::PaperSweep arrival_sweep;
-    arrival_sweep.traces.clear();  // drop the default paper-solar spec
-    for (const auto& c : arrival_cases) {
-        auto setup = std::make_shared<core::ExperimentSetup>(*base);
-        setup->events = sim::generate_events(
-            {setup_cfg.event_count, base->trace.duration(), c.kind, 321});
-        arrival_sweep.traces.push_back({c.label, setup_cfg, std::move(setup)});
-    }
-    arrival_sweep.systems = shape_sweep.systems;
-    arrival_sweep.replicas = options.replicas;
-    for (auto& spec : exp::build_paper_scenarios(arrival_sweep)) {
-        specs.push_back(std::move(spec));
-    }
-
-    const auto outcomes = bench::run_and_report(specs, options);
-
-    util::Table t1("Ablation — power trace shape (same " +
-                   util::fixed(setup_cfg.total_harvest_mj, 1) +
-                   " mJ budget)");
-    t1.header({"trace", "IEpmJ (QL)", "IEpmJ (LUT)", "processed QL", "lat QL"});
-    for (const char* label : trace_labels) {
-        const auto& ql = bench::canonical_sim(
-            specs, outcomes, std::string(label) + "/Q-learning");
-        const auto& lut = bench::canonical_sim(
-            specs, outcomes, std::string(label) + "/static LUT");
-        t1.row({label, util::fixed(ql.iepmj(), 3), util::fixed(lut.iepmj(), 3),
-                std::to_string(ql.processed_count()),
-                util::fixed(ql.mean_event_latency_s(), 1) + " s"});
-    }
-    t1.print(std::cout);
-
-    util::Table t2("Ablation — event arrival process (daylight solar)");
-    t2.header({"arrivals", "IEpmJ (QL)", "IEpmJ (LUT)", "processed QL/LUT"});
-    for (const auto& c : arrival_cases) {
-        const auto& ql = bench::canonical_sim(
-            specs, outcomes, std::string(c.label) + "/Q-learning");
-        const auto& lut = bench::canonical_sim(
-            specs, outcomes, std::string(c.label) + "/static LUT");
-        t2.row({c.label, util::fixed(ql.iepmj(), 3),
-                util::fixed(lut.iepmj(), 3),
-                std::to_string(ql.processed_count()) + "/" +
-                    std::to_string(lut.processed_count())});
-    }
-    t2.print(std::cout);
-
-    std::printf(
-        "\nnotes: the night gap roughly halves IEpmJ for every policy (half "
-        "the events arrive with no income and a small buffer); burstiness "
-        "favors the learned policy, which holds reserve for followers.\n");
-
-    bench::print_replica_aggregate(specs, outcomes,
-                                   {"iepmj", "processed", "event_latency_s"},
-                                   options);
-    return 0;
+    return imx::exp::experiment_main("ablation-trace", argc, argv);
 }

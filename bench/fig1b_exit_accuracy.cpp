@@ -1,82 +1,12 @@
 // Reproduces Fig. 1b: per-exit accuracy of the multi-exit LeNet under
-// full precision, uniform compression, and nonuniform compression (the
-// deployed reference policy), against the paper's reported bars. The three
-// variants run as one sweep of exit-accuracy scenarios through the exp::
-// engine; the computation is RNG-free, so replicas exist only for CSV
-// symmetry with the other benches and --quick changes nothing.
+// full precision, uniform compression, and nonuniform compression, against
+// the paper's reported bars. Thin shim over the "fig1b-exit-accuracy"
+// registry entry; `imx_sweep fig1b-exit-accuracy` runs the identical sweep.
 //
 // Usage: bench_fig1b_exit_accuracy [--quick] [--replicas N] [--threads N]
-//                                  [--csv PATH]
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "compress/fit.hpp"
-
-using namespace imx;
+//                                  [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    struct Variant {
-        exp::CompressionVariant kind;
-        const char* label;
-    };
-    const Variant variants[] = {
-        {exp::CompressionVariant::kFullPrecision, "full-precision"},
-        {exp::CompressionVariant::kUniform, "uniform"},
-        {exp::CompressionVariant::kNonuniform, "nonuniform"},
-    };
-    std::vector<exp::ScenarioSpec> specs;
-    for (const auto& variant : variants) {
-        for (int replica = 0; replica < options.replicas; ++replica) {
-            specs.push_back(exp::make_exit_accuracy_scenario(
-                variant.kind, variant.label, replica));
-        }
-    }
-    const auto outcomes = bench::run_and_report(specs, options);
-
-    const auto& full =
-        bench::canonical_metrics(specs, outcomes, "fig1b/full-precision");
-    const auto& uni = bench::canonical_metrics(specs, outcomes,
-                                               "fig1b/uniform");
-    const auto& non = bench::canonical_metrics(specs, outcomes,
-                                               "fig1b/nonuniform");
-    const auto exit_acc = [](const exp::MetricMap& m, int e) {
-        return m.at("exit" + std::to_string(e + 1) + "_acc_pct");
-    };
-
-    util::Table table(
-        "Fig. 1b — per-exit accuracy (%), measured (paper)");
-    table.header({"exit", "full precision", "uniform", "nonuniform"});
-    for (int e = 0; e < 3; ++e) {
-        const auto i = static_cast<std::size_t>(e);
-        table.row({"exit " + std::to_string(e + 1),
-                   bench::vs_paper(exit_acc(full, e),
-                                   core::kPaperFullPrecisionAcc[i], 1),
-                   bench::vs_paper(exit_acc(uni, e), core::kPaperUniformAcc[i],
-                                   1),
-                   bench::vs_paper(exit_acc(non, e),
-                                   core::kPaperNonuniformAcc[i], 1)});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nbars (55..75 %):\n";
-    for (int e = 0; e < 3; ++e) {
-        auto bar_of = [](double v) { return util::bar(v - 55.0, 20.0, 36); };
-        std::printf("exit %d full    |%s| %.1f\n", e + 1,
-                    bar_of(exit_acc(full, e)).c_str(), exit_acc(full, e));
-        std::printf("exit %d uniform |%s| %.1f\n", e + 1,
-                    bar_of(exit_acc(uni, e)).c_str(), exit_acc(uni, e));
-        std::printf("exit %d nonunif |%s| %.1f\n\n", e + 1,
-                    bar_of(exit_acc(non, e)).c_str(), exit_acc(non, e));
-    }
-
-    std::printf("constraints: FLOPs %.3fM (uniform) / %.3fM (nonuniform) "
-                "<= %.2fM target; size %.1f / %.1f <= %.1f KB target\n",
-                uni.at("total_macs_m"), non.at("total_macs_m"),
-                core::kFlopsTargetMacs / 1e6, uni.at("model_kb"),
-                non.at("model_kb"), core::kSizeTargetBytes / 1024.0);
-    return 0;
+    return imx::exp::experiment_main("fig1b-exit-accuracy", argc, argv);
 }

@@ -1,98 +1,13 @@
 // Reproduces Fig. 4: the layer-wise preserve ratio and weight-bitwidth
 // allocation found by the power-trace-aware two-agent DDPG search (with
-// local refinement) under the 1.15 MFLOP / 16 KB constraints. The search
-// runs as a single scenario through the exp:: engine (the degenerate
-// one-scenario sweep), with the full SearchResult returned via the outcome
-// payload.
+// local refinement) under the 1.15 MFLOP / 16 KB constraints. Thin shim
+// over the "fig4-compression-policy" registry entry.
 //
 // Usage: bench_fig4_compression_policy [episodes] [--quick] [--replicas N]
 //                                      [--threads N] [--csv PATH]
-#include <any>
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "bench_common.hpp"
-#include "core/search.hpp"
-
-using namespace imx;
+//                                      [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    // An explicit positional episode count always wins over --quick.
-    const int episodes =
-        exp::positional_int(options, 0, options.quick ? 60 : 300);
-
-    const auto setup = std::make_shared<const core::ExperimentSetup>(
-        core::make_paper_setup(bench::bench_setup_config(options)));
-    const auto& desc = setup->network;
-
-    core::SearchConfig cfg;
-    cfg.episodes = episodes;
-    std::vector<exp::ScenarioSpec> specs;
-    for (int replica = 0; replica < options.replicas; ++replica) {
-        specs.push_back(exp::make_search_scenario(
-            setup, exp::SearchAlgo::kDdpgRefined, "ddpg-refined", cfg,
-            replica));
-    }
-    const auto outcomes = bench::run_and_report(specs, options);
-    // The canonical (replica 0) policy feeds the Fig. 4 tables below.
-    const auto result =
-        std::any_cast<core::SearchResult>(outcomes.front().payload);
-
-    if (!result.found_feasible) {
-        std::printf("search found no feasible policy (unexpected)\n");
-        return 1;
-    }
-    const auto& policy = result.best_policy;
-
-    util::Table table(
-        "Fig. 4 — layer-wise compression policy at 1.15 MFLOP / 16 KB");
-    table.header({"layer", "preserve ratio", "", "w bits", "a bits"});
-    for (std::size_t l = 0; l < desc.num_layers(); ++l) {
-        table.row({desc.layers[l].name,
-                   util::fixed(policy[l].preserve_ratio, 2),
-                   util::bar(policy[l].preserve_ratio, 1.0, 20),
-                   std::to_string(policy[l].weight_bits),
-                   std::to_string(policy[l].activation_bits)});
-    }
-    table.print(std::cout);
-
-    const core::AccuracyModel oracle(
-        desc, {core::kPaperFullPrecisionAcc.begin(),
-               core::kPaperFullPrecisionAcc.end()});
-    const auto acc = oracle.exit_accuracy(policy);
-    std::printf(
-        "\nsearched policy: Racc %.4f | exits %.1f / %.1f / %.1f %% | "
-        "%.3fM MACs (target %.2fM) | %.1f KB (target %.1f KB)\n",
-        result.best_reward, acc[0], acc[1], acc[2],
-        static_cast<double>(compress::total_macs(desc, policy)) / 1e6,
-        core::kFlopsTargetMacs / 1e6,
-        compress::model_bytes(desc, policy) / 1024.0,
-        core::kSizeTargetBytes / 1024.0);
-
-    // Qualitative Fig. 4 shape checks the paper reports in prose.
-    double conv_bits = 0.0;
-    int conv_count = 0;
-    for (std::size_t l = 0; l < desc.num_layers(); ++l) {
-        if (desc.layers[l].kind == compress::LayerKind::kConv) {
-            conv_bits += policy[l].weight_bits;
-            ++conv_count;
-        }
-    }
-    const int fc_b21_bits =
-        policy[static_cast<std::size_t>(desc.layer_index("FC-B21"))].weight_bits;
-    const int fc_b31_bits =
-        policy[static_cast<std::size_t>(desc.layer_index("FC-B31"))].weight_bits;
-    std::printf(
-        "shape: mean conv weight bits %.1f (paper: 8); large FCs FC-B21=%d, "
-        "FC-B31=%d bits (paper: 1)\n",
-        conv_bits / conv_count, fc_b21_bits, fc_b31_bits);
-    std::printf("search evaluations: %d\n", result.evaluations);
-
-    bench::print_replica_aggregate(specs, outcomes,
-                                   {"best_racc", "evaluations", "feasible",
-                                    "total_macs_m", "model_kb"},
-                                   options);
-    return 0;
+    return imx::exp::experiment_main("fig4-compression-policy", argc, argv);
 }

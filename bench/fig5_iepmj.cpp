@@ -1,84 +1,13 @@
 // Reproduces Fig. 5 and the Sec. V-C accuracy rows: interesting events per
 // harvested millijoule (IEpmJ) plus all-event / processed-event accuracy for
-// ours vs SonicNet, SpArSeNet, and LeNet-Cifar. The four systems run as one
-// parallel sweep through the exp:: engine; with --replicas N the bench also
-// prints mean ± 95% CI over independent seed replicas.
+// ours vs SonicNet, SpArSeNet, and LeNet-Cifar. Thin shim over the
+// "fig5-iepmj" entry of the experiment registry (src/exp/experiments_*.cpp);
+// `imx_sweep fig5-iepmj` runs the identical sweep.
 //
 // Usage: bench_fig5_iepmj [--quick] [--replicas N] [--threads N] [--csv PATH]
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace imx;
+//                         [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    exp::PaperSweep sweep;
-    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
-    sweep.systems = exp::paper_systems(bench::bench_episodes(options, 16));
-    sweep.replicas = options.replicas;
-    const auto specs = exp::build_paper_scenarios(sweep);
-    const auto outcomes = bench::run_and_report(specs, options);
-    const std::string prefix = sweep.traces[0].label + "/";
-
-    struct Row {
-        const char* name;
-        double paper_iepmj;
-        double paper_acc_all;
-        double paper_acc_proc;
-    };
-    const Row rows[] = {
-        {"Our Approach", 0.89, 50.1, 65.4},
-        {"SonicNet", 0.25, 14.0, 75.4},
-        {"SpArSeNet", 0.05, 2.6, 82.7},
-        {"LeNet-Cifar", 0.70, 39.2, 74.7},
-    };
-
-    util::Table table("Fig. 5 — IEpmJ and Sec. V-C accuracy, measured (paper)");
-    table.header({"system", "IEpmJ", "acc all events %", "acc processed %",
-                  "processed/" + std::to_string(sweep.traces[0].config.event_count)});
-    for (const Row& row : rows) {
-        const auto& r = bench::canonical_sim(specs, outcomes,
-                                             prefix + row.name);
-        table.row({row.name,
-                   bench::vs_paper(r.iepmj(), row.paper_iepmj),
-                   bench::vs_paper(100.0 * r.accuracy_all_events(),
-                                   row.paper_acc_all, 1),
-                   bench::vs_paper(100.0 * r.accuracy_processed(),
-                                   row.paper_acc_proc, 1),
-                   std::to_string(r.processed_count())});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nIEpmJ bars:\n";
-    for (const Row& row : rows) {
-        const auto& r = bench::canonical_sim(specs, outcomes,
-                                             prefix + row.name);
-        std::printf("%-12s |%s| %.3f\n", row.name,
-                    util::bar(r.iepmj(), 1.0, 40).c_str(), r.iepmj());
-    }
-
-    const auto& ours = bench::canonical_sim(specs, outcomes,
-                                            prefix + "Our Approach");
-    const auto& sonic = bench::canonical_sim(specs, outcomes,
-                                             prefix + "SonicNet");
-    const auto& sparse = bench::canonical_sim(specs, outcomes,
-                                              prefix + "SpArSeNet");
-    const auto& lenet = bench::canonical_sim(specs, outcomes,
-                                             prefix + "LeNet-Cifar");
-    std::printf(
-        "\nimprovement factors (IEpmJ): ours/Sonic %.1fx (paper 3.6x), "
-        "ours/SpArSe %.1fx (paper 18.9x), ours/LeNet %.2fx (paper 1.28x)\n",
-        ours.iepmj() / sonic.iepmj(), ours.iepmj() / sparse.iepmj(),
-        ours.iepmj() / lenet.iepmj());
-    std::printf("harvested energy over the run: %.1f mJ across %d events\n",
-                ours.total_harvested_mj, ours.total_events());
-
-    bench::print_replica_aggregate(
-        specs, outcomes,
-        {"iepmj", "acc_all_pct", "acc_processed_pct", "processed"}, options);
-    return 0;
+    return imx::exp::experiment_main("fig5-iepmj", argc, argv);
 }

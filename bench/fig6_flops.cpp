@@ -1,78 +1,12 @@
 // Reproduces Fig. 6: per-exit FLOPs before/after nonuniform compression
-// (with the reduction ratio annotations) and the baselines' FLOPs, plus the
-// per-inference average comparison the paper derives from it. The learned
-// runtime runs through the exp:: sweep engine (a single-system sweep, so
-// --replicas N turns the "Aver." bar into a mean over seed replicas).
+// (with the reduction ratio annotations), the baselines' FLOPs, and the
+// per-inference average under the learned runtime. Thin shim over the
+// "fig6-flops" registry entry.
 //
 // Usage: bench_fig6_flops [--quick] [--replicas N] [--threads N] [--csv PATH]
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "bench_common.hpp"
-
-using namespace imx;
+//                         [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-    // Built once, shared with the sweep below via TraceSpec::prebuilt.
-    const auto setup = std::make_shared<const core::ExperimentSetup>(
-        core::make_paper_setup(bench::bench_setup_config(options)));
-    const auto& desc = setup->network;
-    const auto full = compress::Policy::full_precision(desc.num_layers());
-    const auto before = compress::per_exit_macs(desc, full);
-    const auto after = compress::per_exit_macs(desc, setup->deployed_policy);
-
-    const double paper_ratio[3] = {0.67, 0.44, 0.31};
-
-    util::Table table("Fig. 6 — per-exit FLOPs before/after compression");
-    table.header({"exit", "before (MFLOPs)", "after (MFLOPs)",
-                  "ratio, measured (paper)"});
-    for (int e = 0; e < 3; ++e) {
-        const auto i = static_cast<std::size_t>(e);
-        const double ratio = static_cast<double>(after[i]) /
-                             static_cast<double>(before[i]);
-        table.row({"exit " + std::to_string(e + 1),
-                   util::fixed(static_cast<double>(before[i]) / 1e6, 4),
-                   util::fixed(static_cast<double>(after[i]) / 1e6, 4),
-                   bench::vs_paper(ratio, paper_ratio[e])});
-    }
-    table.row({"SonicNet", "2.0000", "-", "-"});
-    table.row({"SpArSeNet", "11.4000", "-", "-"});
-    table.row({"LeNet-Cifar", "0.7200", "-", "-"});
-    table.print(std::cout);
-
-    // Per-inference FLOPs average under the learned runtime (the paper's
-    // "Aver." bar and the 4.1x / 23.2x / 0.46x annotations), via the engine.
-    exp::PaperSweep sweep;
-    sweep.traces = {{"paper-solar", {}, setup}};
-    sweep.systems = {{"Our Approach", exp::SystemKind::kOursQLearning,
-                      bench::bench_episodes(options, 16), {}, ""}};
-    sweep.replicas = options.replicas;
-    const auto specs = exp::build_paper_scenarios(sweep);
-    const auto outcomes = bench::run_and_report(specs, options);
-    const auto groups = exp::aggregate(specs, outcomes);
-    const double avg_macs =
-        groups.front().metrics.at("inference_macs_m").mean * 1e6;
-    std::printf(
-        "\nmean per-inference FLOPs (ours, learned runtime): %.3fM\n",
-        avg_macs / 1e6);
-    std::printf(
-        "per-inference improvement: vs SonicNet %.1fx (paper 4.1x), "
-        "vs SpArSeNet %.1fx (paper 23.2x), vs LeNet-Cifar %.2fx (paper 0.46x"
-        " — i.e. LeNet-Cifar is cheaper per inference)\n",
-        2.0e6 / avg_macs, 11.4e6 / avg_macs, 0.72e6 / avg_macs);
-
-    std::cout << "\nFLOPs bars (MFLOPs, 0..2):\n";
-    for (int e = 0; e < 3; ++e) {
-        const auto i = static_cast<std::size_t>(e);
-        std::printf("exit %d before |%s| %.3f\n", e + 1,
-                    util::bar(static_cast<double>(before[i]) / 1e6, 2.0, 40).c_str(),
-                    static_cast<double>(before[i]) / 1e6);
-        std::printf("exit %d after  |%s| %.3f\n", e + 1,
-                    util::bar(static_cast<double>(after[i]) / 1e6, 2.0, 40).c_str(),
-                    static_cast<double>(after[i]) / 1e6);
-    }
-    return 0;
+    return imx::exp::experiment_main("fig6-flops", argc, argv);
 }

@@ -1,78 +1,12 @@
 // Reproduces Fig. 7a: the runtime adaptation learning curve — all-event
 // accuracy per learning episode for Q-learning exit selection vs the static
-// LUT policy's flat line. Both systems run as learning-curve scenarios
-// through the exp:: engine; with --replicas N the per-episode curve points
-// aggregate to mean ± 95% CI like every other metric.
+// LUT policy's flat line. Thin shim over the "fig7a-runtime-learning"
+// registry entry.
 //
 // Usage: bench_fig7a_runtime_learning [--quick] [--replicas N] [--threads N]
-//                                     [--csv PATH]
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "bench_common.hpp"
-
-using namespace imx;
+//                                     [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    const auto setup = std::make_shared<const core::ExperimentSetup>(
-        core::make_paper_setup(bench::bench_setup_config(options)));
-    const exp::SystemSpec lut{"static LUT", exp::SystemKind::kOursStatic, 0,
-                              {}, ""};
-    const exp::SystemSpec learned{"Q-learning",
-                                  exp::SystemKind::kOursQLearning,
-                                  bench::bench_episodes(options, 16),
-                                  {}, ""};
-
-    std::vector<exp::ScenarioSpec> specs;
-    for (int replica = 0; replica < options.replicas; ++replica) {
-        specs.push_back(
-            exp::make_learning_curve_scenario(setup, lut, "paper-solar",
-                                              replica));
-        specs.push_back(exp::make_learning_curve_scenario(
-            setup, learned, "paper-solar", replica));
-    }
-    const auto outcomes = bench::run_and_report(specs, options);
-
-    const auto& lut_sim =
-        bench::canonical_sim(specs, outcomes, "paper-solar/static LUT");
-    const double lut_acc = 100.0 * lut_sim.accuracy_all_events();
-
-    const auto& learned_sim =
-        bench::canonical_sim(specs, outcomes, "paper-solar/Q-learning");
-    const double final_acc = 100.0 * learned_sim.accuracy_all_events();
-    const auto& learned_metrics =
-        bench::canonical_metrics(specs, outcomes, "paper-solar/Q-learning");
-    std::vector<double> curve;
-    for (const auto& [name, value] : learned_metrics) {
-        // MetricMap is ordered and the keys are zero-padded, so this walks
-        // the episodes in training order.
-        if (name.rfind("curve_ep", 0) == 0) curve.push_back(value);
-    }
-
-    util::Table table("Fig. 7a — runtime learning curve (avg accuracy, %)");
-    table.header({"episode", "Q-learning", "", "static LUT"});
-    for (std::size_t ep = 0; ep < curve.size(); ++ep) {
-        table.row({std::to_string(ep + 1), util::fixed(curve[ep], 1),
-                   util::bar(curve[ep] - 30.0, 30.0, 30),
-                   util::fixed(lut_acc, 1)});
-    }
-    table.row({"eval (greedy)", util::fixed(final_acc, 1),
-               util::bar(final_acc - 30.0, 30.0, 30), util::fixed(lut_acc, 1)});
-    table.print(std::cout);
-
-    std::printf(
-        "\nQ-learning final vs static LUT: %.1f%% vs %.1f%% -> %+.1f%% "
-        "relative (paper: +10.2%%)\n",
-        final_acc, lut_acc, 100.0 * (final_acc - lut_acc) / lut_acc);
-    std::printf("learning curve start -> end: %.1f%% -> %.1f%%\n",
-                curve.front(), curve.back());
-
-    bench::print_replica_aggregate(specs, outcomes,
-                                   {"acc_all_pct", "iepmj", "processed"},
-                                   options);
-    return 0;
+    return imx::exp::experiment_main("fig7a-runtime-learning", argc, argv);
 }

@@ -1,70 +1,11 @@
 // Reproduces Fig. 7b: the number (and percentage) of processed events
 // exiting at each of the three exits, for the learned Q-policy vs the static
-// LUT, plus the extra processed events the adaptation buys. Both variants
-// run as one parallel sweep through the exp:: engine.
+// LUT. Thin shim over the "fig7b-exit-distribution" registry entry.
 //
 // Usage: bench_fig7b_exit_distribution [--quick] [--replicas N] [--threads N]
-//                                      [--csv PATH]
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace imx;
+//                                      [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    exp::PaperSweep sweep;
-    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
-    sweep.systems = {{"Q-learning", exp::SystemKind::kOursQLearning,
-                      bench::bench_episodes(options, 16), {}, ""},
-                     {"static LUT", exp::SystemKind::kOursStatic, 0, {}, ""}};
-    sweep.replicas = options.replicas;
-    const auto specs = exp::build_paper_scenarios(sweep);
-    const auto outcomes = bench::run_and_report(specs, options);
-    const std::string prefix = sweep.traces[0].label + "/";
-
-    const auto& learned = bench::canonical_sim(specs, outcomes,
-                                               prefix + "Q-learning");
-    const auto& lut = bench::canonical_sim(specs, outcomes,
-                                           prefix + "static LUT");
-    const int n = learned.total_events();
-
-    const auto hist_q = learned.exit_histogram(3);
-    const auto hist_lut = lut.exit_histogram(3);
-
-    const double paper_q[3] = {71.0, 2.8, 11.4};
-    const double paper_lut[3] = {57.6, 3.8, 15.2};
-
-    util::Table table("Fig. 7b — processed events per exit, measured (paper %)");
-    table.header({"exit", "Q-learning", "Q %", "static LUT", "LUT %"});
-    for (int e = 0; e < 3; ++e) {
-        const auto i = static_cast<std::size_t>(e);
-        table.row({"exit " + std::to_string(e + 1),
-                   std::to_string(hist_q[i]),
-                   bench::vs_paper(100.0 * hist_q[i] / n, paper_q[e], 1),
-                   std::to_string(hist_lut[i]),
-                   bench::vs_paper(100.0 * hist_lut[i] / n, paper_lut[e], 1)});
-    }
-    table.row({"total processed", std::to_string(learned.processed_count()), "",
-               std::to_string(lut.processed_count()), ""});
-    table.print(std::cout);
-
-    std::printf(
-        "\nQ-learning processes %+.1f%% events vs static LUT (paper: +11.2%%)\n",
-        100.0 *
-            (learned.processed_count() - lut.processed_count()) /
-            static_cast<double>(lut.processed_count()));
-    std::printf(
-        "exit-1 share of processed events: Q %.1f%% vs LUT %.1f%% — the "
-        "learned policy shifts toward the cheap exit (paper Fig. 7b)\n",
-        100.0 * hist_q[0] / learned.processed_count(),
-        100.0 * hist_lut[0] / lut.processed_count());
-
-    bench::print_replica_aggregate(specs, outcomes,
-                                   {"processed", "acc_all_pct", "iepmj"},
-                                   options);
-    return 0;
+    return imx::exp::experiment_main("fig7b-exit-distribution", argc, argv);
 }

@@ -1,0 +1,107 @@
+// The universal sweep driver: runs any registered experiment by name or any
+// declarative spec file, under the shared sweep CLI. Scenario growth is
+// config authoring, not C++ — see docs/experiments.md for the spec schema.
+//
+// Usage: imx_sweep <name> [options]            run a registered experiment
+//        imx_sweep --spec FILE [options]       run a spec-file experiment
+//        imx_sweep --list                      list registered experiments
+// Options: [--quick] [--replicas N] [--threads N] [--csv PATH]
+//          [--base-seed N] [--dry-run]
+// --dry-run prints the expanded scenario grid (id, seed, dims) without
+// executing anything — CI uses it to validate every shipped spec cheaply.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "exp/spec_parser.hpp"
+
+using namespace imx;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: imx_sweep <name> [options]      run a registered experiment\n"
+    "       imx_sweep --spec FILE [options] run a spec-file experiment\n"
+    "       imx_sweep --list                list registered experiments\n"
+    "options: [--quick] [--replicas N] [--threads N] [--csv PATH]\n"
+    "         [--base-seed N] [--dry-run]\n";
+
+int list_experiments() {
+    std::printf("registered experiments:\n");
+    for (const auto& name : exp::experiment_names()) {
+        std::printf("  %-28s %s\n", name.c_str(),
+                    exp::experiment_description(name).c_str());
+    }
+    std::printf(
+        "\nrun one with `imx_sweep <name>`, or declare your own grid in a "
+        "spec file (docs/experiments.md) and run `imx_sweep --spec FILE`.\n");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Peel off the driver-only flags, then hand the rest to the shared
+    // sweep CLI parser (which owns --quick/--replicas/--threads/--csv/
+    // --base-seed and the hard-error policy for unknown flags).
+    bool list = false;
+    bool dry_run = false;
+    std::string spec_path;
+    std::vector<char*> rest = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dry_run = true;
+        } else if (std::strcmp(argv[i], "--spec") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --spec requires a value\n");
+                return 2;
+            }
+            spec_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    if (list) return list_experiments();
+
+    auto options =
+        exp::parse_sweep_cli(static_cast<int>(rest.size()), rest.data());
+
+    try {
+        exp::Experiment experiment;
+        if (!spec_path.empty()) {
+            experiment.spec = exp::load_experiment_spec(spec_path);
+        } else {
+            if (options.positional.empty()) {
+                std::fputs(kUsage, stderr);
+                return 2;
+            }
+            const std::string name = options.positional.front();
+            // The name is consumed here; remaining positionals belong to
+            // the experiment (e.g. an episode count).
+            options.positional.erase(options.positional.begin());
+            experiment = exp::make_experiment(name);
+        }
+        if (dry_run) {
+            const auto specs =
+                exp::build_experiment_scenarios(experiment, options);
+            exp::print_scenario_grid(specs, std::cout);
+            return 0;
+        }
+        return exp::run_experiment(experiment, options);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,76 +1,11 @@
 // Reproduces the Sec. V-D latency comparison: per-event latency (arrival to
 // result, in 1-second time units) and per-inference latency for ours vs the
-// three baselines, with the paper's reported values side by side. All four
-// systems run as one parallel sweep through the exp:: engine.
+// three baselines. Thin shim over the "latency-table" registry entry.
 //
 // Usage: bench_latency_table [--quick] [--replicas N] [--threads N]
-//                            [--csv PATH]
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hpp"
-
-using namespace imx;
+//                            [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
 
 int main(int argc, char** argv) {
-    const auto options = bench::parse_bench_options(argc, argv);
-    exp::require_no_positional(options);
-
-    exp::PaperSweep sweep;
-    sweep.traces = {{"paper-solar", bench::bench_setup_config(options)}};
-    sweep.systems = exp::paper_systems(bench::bench_episodes(options, 16));
-    sweep.replicas = options.replicas;
-    const auto specs = exp::build_paper_scenarios(sweep);
-    const auto outcomes = bench::run_and_report(specs, options);
-    const std::string prefix = sweep.traces[0].label + "/";
-
-    struct Row {
-        const char* name;
-        double paper_event_latency;
-    };
-    const Row rows[] = {
-        {"Our Approach", 18.0},
-        {"SonicNet", 139.9},
-        {"SpArSeNet", 183.4},
-        {"LeNet-Cifar", 56.7},
-    };
-
-    util::Table table("Sec. V-D — latency (time units of 1 s), measured (paper)");
-    table.header({"system", "per-event latency", "per-inference latency",
-                  "mean MACs/inference (M)"});
-    for (const Row& row : rows) {
-        const auto& r = bench::canonical_sim(specs, outcomes,
-                                             prefix + row.name);
-        table.row({row.name,
-                   bench::vs_paper(r.mean_event_latency_s(),
-                                   row.paper_event_latency, 1),
-                   util::fixed(r.mean_inference_latency_s(), 1),
-                   util::fixed(r.mean_inference_macs() / 1e6, 3)});
-    }
-    table.print(std::cout);
-
-    const auto& ours = bench::canonical_sim(specs, outcomes,
-                                            prefix + "Our Approach");
-    const auto& sonic = bench::canonical_sim(specs, outcomes,
-                                             prefix + "SonicNet");
-    const auto& sparse = bench::canonical_sim(specs, outcomes,
-                                              prefix + "SpArSeNet");
-    const auto& lenet = bench::canonical_sim(specs, outcomes,
-                                             prefix + "LeNet-Cifar");
-    std::printf(
-        "\nper-event latency improvement: vs SonicNet %.1fx (paper 7.8x), "
-        "vs SpArSeNet %.1fx (paper 10.2x), vs LeNet-Cifar %.2fx (paper 3.15x)\n",
-        sonic.mean_event_latency_s() / ours.mean_event_latency_s(),
-        sparse.mean_event_latency_s() / ours.mean_event_latency_s(),
-        lenet.mean_event_latency_s() / ours.mean_event_latency_s());
-    std::printf(
-        "note: SpArSeNet's absolute latency exceeds the paper's 183.4 in this "
-        "calibration (its 17.1 mJ inferences only complete near solar noon); "
-        "the ordering and all other factors match. See EXPERIMENTS.md.\n");
-
-    bench::print_replica_aggregate(
-        specs, outcomes,
-        {"event_latency_s", "inference_latency_s", "inference_macs_m"},
-        options);
-    return 0;
+    return imx::exp::experiment_main("latency-table", argc, argv);
 }

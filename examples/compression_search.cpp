@@ -28,10 +28,13 @@ using namespace imx;
 
 int main(int argc, char** argv) {
     const auto cli = exp::parse_sweep_cli(argc, argv);
-    if (cli.replicas != 1 || !cli.csv.empty()) {
+    if (cli.replicas != 1 || !cli.csv.empty() || cli.base_seed_given) {
+        // This example only runs the canonical replica-0 searches, whose
+        // SearchConfig seed is fixed by design — a re-rolled base seed
+        // would be silently ignored, so reject it like the other flags.
         std::fprintf(stderr,
-                     "error: --replicas/--csv are not supported by this "
-                     "example (see the bench_* binaries)\n");
+                     "error: --replicas/--csv/--base-seed are not supported "
+                     "by this example (see the bench_* binaries)\n");
         return 2;
     }
     const int episodes = exp::positional_int(cli, 0, cli.quick ? 60 : 300);

@@ -1,0 +1,102 @@
+#include "exp/cli.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace imx::exp {
+
+namespace {
+
+int require_int(const char* flag, const char* text) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value < INT_MIN ||
+        value > INT_MAX) {
+        std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", flag,
+                     text);
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
+
+std::uint64_t require_uint64(const char* flag, const char* text) {
+    char* end = nullptr;
+    errno = 0;
+    // Base 0 so seeds read naturally in decimal or hex (0xD5EED).
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+SweepCli parse_sweep_cli(int argc, char** argv) {
+    SweepCli options;
+    const auto require_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s requires a value\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            options.quick = true;
+        } else if (std::strcmp(argv[i], "--replicas") == 0) {
+            options.replicas = require_int("--replicas", require_value(i));
+            options.replicas_given = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            options.threads = require_int("--threads", require_value(i));
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            options.csv = require_value(i);
+        } else if (std::strcmp(argv[i], "--base-seed") == 0) {
+            options.base_seed =
+                require_uint64("--base-seed", require_value(i));
+            options.base_seed_given = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "error: unknown option '%s' (expected --quick, "
+                         "--replicas N, --threads N, --csv PATH, "
+                         "--base-seed N)\n",
+                         argv[i]);
+            std::exit(2);
+        } else {
+            options.positional.emplace_back(argv[i]);
+        }
+    }
+    if (options.replicas < 1) options.replicas = 1;
+    return options;
+}
+
+int positional_int(const SweepCli& options, std::size_t index, int fallback) {
+    if (index >= options.positional.size()) return fallback;
+    const std::string& text = options.positional[index];
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        value < INT_MIN || value > INT_MAX) {
+        std::fprintf(stderr, "error: expected an integer argument, got '%s'\n",
+                     text.c_str());
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
+
+void require_no_positional(const SweepCli& options) {
+    if (options.positional.empty()) return;
+    std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                 options.positional.front().c_str());
+    std::exit(2);
+}
+
+}  // namespace imx::exp

@@ -1,104 +1,57 @@
 /// \file
 /// \brief Shared CLI surface for sweep-driven binaries:
-///   [--quick] [--replicas N] [--threads N] [--csv PATH] [positional...]
+///   [--quick] [--replicas N] [--threads N] [--csv PATH] [--base-seed N]
+///   [positional...]
 ///
 /// Flags are consumed; anything else lands in `positional` in order, so
 /// callers can accept e.g. an episode count before or after the flags.
 /// Unknown `--flags` and value-taking flags with a missing value are hard
 /// errors: a misspelled `--thread 4` must not silently become positional[0]
-/// and change what the binary computes.
+/// and change what the binary computes. The implementation lives in
+/// cli.cpp — this header stays declaration-only so the parser is compiled
+/// once into the library instead of into every binary.
 #ifndef IMX_EXP_CLI_HPP
 #define IMX_EXP_CLI_HPP
 
-#include <cerrno>
-#include <climits>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace imx::exp {
+
+/// The sweep-wide base seed every bench has always run under. CLI overrides
+/// (`--base-seed`) re-roll replicated sweeps; this default keeps replica-0
+/// outputs bitwise identical to the historical runs.
+inline constexpr std::uint64_t kDefaultBaseSeed = 0xD5EEDULL;
 
 struct SweepCli {
     bool quick = false;   ///< smoke mode: shorter trace, fewer episodes
     int replicas = 1;     ///< seed replicas per scenario group
     int threads = 0;      ///< sweep worker threads; 0 = hardware concurrency
     std::string csv;      ///< optional aggregate CSV output path
+    /// Sweep base seed threaded into scenario_seed(); the default keeps
+    /// every bench's replica-0 output bitwise identical to the historical
+    /// runs, `--base-seed N` re-rolls all replica streams.
+    std::uint64_t base_seed = kDefaultBaseSeed;
+    bool replicas_given = false;   ///< --replicas appeared on the command line
+    bool base_seed_given = false;  ///< --base-seed appeared on the command line
     std::vector<std::string> positional;  ///< non-flag arguments, in order
 };
 
-inline SweepCli parse_sweep_cli(int argc, char** argv) {
-    SweepCli options;
-    const auto require_value = [&](int& i) -> const char* {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "error: %s requires a value\n", argv[i]);
-            std::exit(2);
-        }
-        return argv[++i];
-    };
-    const auto require_int = [](const char* flag, const char* text) -> int {
-        char* end = nullptr;
-        errno = 0;
-        const long value = std::strtol(text, &end, 10);
-        if (end == text || *end != '\0' || errno == ERANGE ||
-            value < INT_MIN || value > INT_MAX) {
-            std::fprintf(stderr, "error: %s expects an integer, got '%s'\n",
-                         flag, text);
-            std::exit(2);
-        }
-        return static_cast<int>(value);
-    };
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0) {
-            options.quick = true;
-        } else if (std::strcmp(argv[i], "--replicas") == 0) {
-            options.replicas = require_int("--replicas", require_value(i));
-        } else if (std::strcmp(argv[i], "--threads") == 0) {
-            options.threads = require_int("--threads", require_value(i));
-        } else if (std::strcmp(argv[i], "--csv") == 0) {
-            options.csv = require_value(i);
-        } else if (argv[i][0] == '-') {
-            std::fprintf(stderr,
-                         "error: unknown option '%s' (expected --quick, "
-                         "--replicas N, --threads N, --csv PATH)\n",
-                         argv[i]);
-            std::exit(2);
-        } else {
-            options.positional.emplace_back(argv[i]);
-        }
-    }
-    if (options.replicas < 1) options.replicas = 1;
-    return options;
-}
+/// \brief Parse the shared sweep flags out of argv.
+/// \return the parsed options; calls std::exit(2) with a diagnostic on any
+///   unknown flag, missing value, or malformed number.
+SweepCli parse_sweep_cli(int argc, char** argv);
 
 /// Positional argument `index` as an int, or `fallback` when absent.
 /// Non-numeric or out-of-range text is a hard error, like flag parsing.
-inline int positional_int(const SweepCli& options, std::size_t index,
-                          int fallback) {
-    if (index >= options.positional.size()) return fallback;
-    const std::string& text = options.positional[index];
-    char* end = nullptr;
-    errno = 0;
-    const long value = std::strtol(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
-        value < INT_MIN || value > INT_MAX) {
-        std::fprintf(stderr, "error: expected an integer argument, got '%s'\n",
-                     text.c_str());
-        std::exit(2);
-    }
-    return static_cast<int>(value);
-}
+int positional_int(const SweepCli& options, std::size_t index, int fallback);
 
 /// For binaries that accept no positional arguments: reject strays so a
 /// forgotten flag (`bench 8` instead of `bench --replicas 8`) cannot
 /// silently run with defaults.
-inline void require_no_positional(const SweepCli& options) {
-    if (options.positional.empty()) return;
-    std::fprintf(stderr, "error: unexpected argument '%s'\n",
-                 options.positional.front().c_str());
-    std::exit(2);
-}
+void require_no_positional(const SweepCli& options);
 
 }  // namespace imx::exp
 

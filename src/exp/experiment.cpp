@@ -1,0 +1,326 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/aggregate.hpp"
+#include "exp/experiments_builtin.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "sim/policies/registry.hpp"
+#include "util/contracts.hpp"
+
+namespace imx::exp {
+
+namespace {
+
+std::mutex& registry_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+/// The registry map. An ordered map so experiment_names() is sorted without
+/// a separate pass. Built-ins are seeded on first use by direct calls into
+/// the experiments_*.cpp translation units — no static-init-order or
+/// dead-translation-unit hazards.
+std::map<std::string, ExperimentFactory>& registry_locked() {
+    static std::map<std::string, ExperimentFactory> factories = [] {
+        std::map<std::string, ExperimentFactory> builtins;
+        detail::register_fig_experiments(builtins);
+        detail::register_ablation_experiments(builtins);
+        return builtins;
+    }();
+    return factories;
+}
+
+[[noreturn]] void unknown_experiment(
+    const std::string& name,
+    const std::map<std::string, ExperimentFactory>& factories) {
+    std::string known;
+    for (const auto& [key, unused] : factories) {
+        (void)unused;
+        if (!known.empty()) known += ", ";
+        known += key;
+    }
+    throw std::invalid_argument("unknown experiment '" + name +
+                                "' (registered: " + known + ")");
+}
+
+}  // namespace
+
+SystemKind parse_system_kind(const std::string& kind) {
+    if (kind == "ours-qlearning") return SystemKind::kOursQLearning;
+    if (kind == "ours-static") return SystemKind::kOursStatic;
+    if (kind == "ours-policy") return SystemKind::kOursPolicy;
+    if (kind == "sonic") return SystemKind::kSonicNet;
+    if (kind == "sparse") return SystemKind::kSpArSeNet;
+    if (kind == "lenet") return SystemKind::kLeNetCifar;
+    throw std::invalid_argument(
+        "unknown system kind '" + kind +
+        "' (expected ours-qlearning, ours-static, ours-policy, sonic, "
+        "sparse, lenet)");
+}
+
+core::SetupConfig quick_setup_config(core::SetupConfig config) {
+    // Shrink only: a spec-file trace already below the smoke-run scale must
+    // not be inflated (stretching it to 4000 s would *add* harvest energy
+    // and events, making --quick heavier than the full run).
+    const double quick_duration_s = 4000.0;
+    if (config.duration_s > quick_duration_s) {
+        config.total_harvest_mj *= quick_duration_s / config.duration_s;
+        config.duration_s = quick_duration_s;
+    }
+    config.event_count = std::min(config.event_count, 150);
+    return config;
+}
+
+core::SetupConfig sweep_setup_config(const SweepCli& options) {
+    core::SetupConfig config;
+    if (options.quick) config = quick_setup_config(config);
+    return config;
+}
+
+int sweep_episodes(const SweepCli& options, int full_default) {
+    return options.quick ? 4 : full_default;
+}
+
+SweepCli resolve_options(const ExperimentSpec& spec, const SweepCli& options) {
+    SweepCli resolved = options;
+    if (!resolved.replicas_given) resolved.replicas = spec.replicas;
+    if (resolved.replicas < 1) resolved.replicas = 1;
+    if (!resolved.base_seed_given) resolved.base_seed = spec.base_seed;
+    return resolved;
+}
+
+PaperSweep make_sweep(const ExperimentSpec& spec, const SweepCli& options) {
+    const SweepCli resolved = resolve_options(spec, options);
+    if (spec.systems.empty()) {
+        throw std::invalid_argument("experiment '" + spec.name +
+                                    "' declares no [system]");
+    }
+    const bool has_policy_axis = !spec.policies.empty();
+
+    PaperSweep sweep;
+    sweep.replicas = resolved.replicas;
+    sweep.base_seed = resolved.base_seed;
+
+    sweep.traces.clear();
+    for (const auto& trace : spec.traces) {
+        if (trace.label.empty()) {
+            throw std::invalid_argument("experiment '" + spec.name +
+                                        "': trace with empty label");
+        }
+        // A repeated label would expand to colliding scenario ids/groups:
+        // aggregation would silently fold distinct cells together and
+        // canonical lookups would only ever see the first.
+        for (const auto& existing : sweep.traces) {
+            if (existing.label == trace.label) {
+                throw std::invalid_argument("experiment '" + spec.name +
+                                            "': duplicate trace label '" +
+                                            trace.label + "'");
+            }
+        }
+        core::SetupConfig config = trace.config;
+        if (resolved.quick) config = quick_setup_config(config);
+        sweep.traces.emplace_back(trace.label, config);
+    }
+
+    sweep.systems.clear();
+    for (const auto& entry : spec.systems) {
+        if (entry.label.empty()) {
+            throw std::invalid_argument("experiment '" + spec.name +
+                                        "': system with empty label");
+        }
+        for (const auto& existing : sweep.systems) {
+            if (existing.label == entry.label) {
+                throw std::invalid_argument("experiment '" + spec.name +
+                                            "': duplicate system label '" +
+                                            entry.label + "'");
+            }
+        }
+        const SystemKind kind = parse_system_kind(entry.kind);
+        const bool multi_exit = kind == SystemKind::kOursQLearning ||
+                                kind == SystemKind::kOursStatic ||
+                                kind == SystemKind::kOursPolicy;
+        if (!multi_exit && !entry.policy.empty()) {
+            throw std::invalid_argument(
+                "system '" + entry.label + "': baseline kind '" + entry.kind +
+                "' cannot name an exit policy");
+        }
+        if (!multi_exit && has_policy_axis) {
+            throw std::invalid_argument(
+                "system '" + entry.label + "': a [patch.policy] axis cannot "
+                "cross a checkpointed baseline (no exit choice to override)");
+        }
+        if (kind == SystemKind::kOursPolicy && entry.policy.empty() &&
+            !has_policy_axis) {
+            throw std::invalid_argument(
+                "system '" + entry.label +
+                "': kind ours-policy needs a policy name (or a "
+                "[patch.policy] axis)");
+        }
+        if (!entry.policy.empty() && !sim::has_policy(entry.policy)) {
+            throw std::invalid_argument("system '" + entry.label +
+                                        "': unknown exit policy '" +
+                                        entry.policy + "'");
+        }
+        SystemSpec system;
+        system.label = entry.label;
+        system.kind = kind;
+        system.policy = entry.policy;
+        system.train_episodes = resolved.quick ? entry.quick_train_episodes
+                                               : entry.train_episodes;
+        sweep.systems.push_back(std::move(system));
+    }
+
+    // Axis values must be unique: like a duplicate trace label, a repeated
+    // value would register two identical grid cells under one group and
+    // silently skew the aggregation's replica counts.
+    const auto push_unique = [&](std::vector<SimPatch>& axis,
+                                 SimPatch patch) {
+        for (const auto& existing : axis) {
+            if (existing.label == patch.label) {
+                throw std::invalid_argument(
+                    "duplicate value '" + patch.label +
+                    "' on a patch axis of experiment '" + spec.name + "'");
+            }
+        }
+        axis.push_back(std::move(patch));
+    };
+    std::vector<std::vector<SimPatch>> axes;
+    if (!spec.storage_mj.empty()) {
+        std::vector<SimPatch> axis;
+        for (const double capacity : spec.storage_mj) {
+            if (!(capacity > 0.0)) {
+                throw std::invalid_argument(
+                    "storage capacity must be positive, got " +
+                    std::to_string(capacity));
+            }
+            push_unique(axis, storage_patch(capacity));
+        }
+        axes.push_back(std::move(axis));
+    }
+    if (!spec.deadline_s.empty()) {
+        std::vector<SimPatch> axis;
+        for (const double deadline : spec.deadline_s) {
+            if (!(deadline > 0.0)) {
+                throw std::invalid_argument(
+                    "deadline must be positive (or inf), got " +
+                    std::to_string(deadline));
+            }
+            push_unique(axis, deadline_patch(deadline));
+        }
+        axes.push_back(std::move(axis));
+    }
+    if (has_policy_axis) {
+        std::vector<SimPatch> axis;
+        for (const auto& policy : spec.policies) {
+            if (!sim::has_policy(policy)) {
+                throw std::invalid_argument("unknown exit policy '" + policy +
+                                            "' on the [patch.policy] axis");
+            }
+            push_unique(axis, policy_patch(policy));
+        }
+        axes.push_back(std::move(axis));
+    }
+    if (!axes.empty()) {
+        std::vector<SimPatch> grid = axes.front();
+        for (std::size_t i = 1; i < axes.size(); ++i) {
+            grid = cross_patches(grid, axes[i]);
+        }
+        sweep.patches = std::move(grid);
+    }
+    return sweep;
+}
+
+std::vector<ScenarioSpec> expand_experiment(const ExperimentSpec& spec,
+                                            const SweepCli& options) {
+    return build_paper_scenarios(make_sweep(spec, options));
+}
+
+Experiment make_experiment(const std::string& name) {
+    ExperimentFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex());
+        const auto& factories = registry_locked();
+        const auto it = factories.find(name);
+        if (it == factories.end()) unknown_experiment(name, factories);
+        factory = it->second;
+    }
+    Experiment experiment = factory();
+    IMX_EXPECTS(!experiment.spec.name.empty());
+    return experiment;
+}
+
+void register_experiment(const std::string& name, ExperimentFactory factory) {
+    IMX_EXPECTS(!name.empty());
+    IMX_EXPECTS(factory != nullptr);
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry_locked()[name] = std::move(factory);
+}
+
+bool has_experiment(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    return registry_locked().count(name) > 0;
+}
+
+std::vector<std::string> experiment_names() {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    std::vector<std::string> names;
+    for (const auto& [key, unused] : registry_locked()) {
+        (void)unused;
+        names.push_back(key);
+    }
+    return names;
+}
+
+std::string experiment_description(const std::string& name) {
+    return make_experiment(name).spec.description;
+}
+
+std::vector<ScenarioSpec> build_experiment_scenarios(
+    const Experiment& experiment, const SweepCli& options) {
+    const SweepCli resolved = resolve_options(experiment.spec, options);
+    if (!experiment.allow_positional) require_no_positional(resolved);
+    if (experiment.build) return experiment.build(experiment.spec, resolved);
+    return expand_experiment(experiment.spec, resolved);
+}
+
+int run_experiment(const Experiment& experiment, const SweepCli& options) {
+    const SweepCli resolved = resolve_options(experiment.spec, options);
+    const auto specs = build_experiment_scenarios(experiment, resolved);
+    RunnerConfig runner;
+    runner.threads = resolved.threads;
+    const auto outcomes = run_sweep(specs, runner);
+    if (!resolved.csv.empty()) {
+        // A bad path must not lose the sweep results that follow.
+        try {
+            write_aggregate_csv(resolved.csv, aggregate(specs, outcomes));
+            std::printf("aggregate CSV written to %s\n",
+                        resolved.csv.c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "warning: %s\n", e.what());
+        }
+    }
+    const ExperimentRunContext context{experiment.spec, resolved, specs,
+                                       outcomes};
+    if (experiment.report) return experiment.report(context);
+    return generic_report(context);
+}
+
+int experiment_main(const std::string& name, int argc, char** argv) {
+    const SweepCli options = parse_sweep_cli(argc, argv);
+    try {
+        return run_experiment(make_experiment(name), options);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}
+
+}  // namespace imx::exp

@@ -1,0 +1,27 @@
+/// \file
+/// \brief Internal: built-in experiment registrations. The registry in
+/// experiment.cpp seeds itself by calling these on first use (direct calls
+/// instead of static initializers, so a static-library link can never drop
+/// the translation units). Not part of the public API.
+#ifndef IMX_EXP_EXPERIMENTS_BUILTIN_HPP
+#define IMX_EXP_EXPERIMENTS_BUILTIN_HPP
+
+#include <map>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace imx::exp::detail {
+
+/// The figure reproductions: fig1b, fig4, fig5, fig6, fig7a, fig7b, and
+/// the Sec. V-D latency table.
+void register_fig_experiments(std::map<std::string, ExperimentFactory>& into);
+
+/// The ablations: runtime, search, trace, storage-deadline,
+/// deadline-policy.
+void register_ablation_experiments(
+    std::map<std::string, ExperimentFactory>& into);
+
+}  // namespace imx::exp::detail
+
+#endif  // IMX_EXP_EXPERIMENTS_BUILTIN_HPP

@@ -24,6 +24,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/runtime.hpp"
 #include "core/search.hpp"
+#include "exp/cli.hpp"  // kDefaultBaseSeed
 #include "exp/scenario.hpp"
 
 namespace imx::exp {
@@ -118,7 +119,7 @@ struct PaperSweep {
     std::vector<SystemSpec> systems;  ///< default: paper_systems()
     std::vector<SimPatch> patches = {SimPatch{}};
     int replicas = 1;
-    std::uint64_t base_seed = 0xD5EEDULL;
+    std::uint64_t base_seed = kDefaultBaseSeed;
 };
 
 /// The Fig. 5 comparison set: ours (Q-learning) plus the three baselines.
@@ -153,7 +154,7 @@ ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
 ScenarioSpec make_learning_curve_scenario(
     std::shared_ptr<const core::ExperimentSetup> setup,
     const SystemSpec& system, const std::string& trace_label = "paper-solar",
-    int replica = 0, std::uint64_t base_seed = 0xD5EEDULL);
+    int replica = 0, std::uint64_t base_seed = kDefaultBaseSeed);
 
 // --- Exit-accuracy scenarios (fig1b) --------------------------------------
 
@@ -167,7 +168,7 @@ enum class CompressionVariant { kFullPrecision, kUniform, kNonuniform };
 ScenarioSpec make_exit_accuracy_scenario(CompressionVariant variant,
                                          const std::string& label,
                                          int replica = 0,
-                                         std::uint64_t base_seed = 0xD5EEDULL);
+                                         std::uint64_t base_seed = kDefaultBaseSeed);
 
 // --- Compression-search scenarios (fig4 / example_compression_search) -----
 
@@ -180,7 +181,7 @@ enum class SearchAlgo { kDdpg, kDdpgRefined, kRandom, kAnnealing };
 ScenarioSpec make_search_scenario(
     std::shared_ptr<const core::ExperimentSetup> setup, SearchAlgo algo,
     const std::string& label, const core::SearchConfig& config,
-    int replica = 0, std::uint64_t base_seed = 0xD5EEDULL);
+    int replica = 0, std::uint64_t base_seed = kDefaultBaseSeed);
 
 }  // namespace imx::exp
 

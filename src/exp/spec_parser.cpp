@@ -1,0 +1,329 @@
+#include "exp/spec_parser.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/kvfile.hpp"
+
+namespace imx::exp {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, int line,
+                       const std::string& message) {
+    throw std::runtime_error(origin + ":" + std::to_string(line) + ": " +
+                             message);
+}
+
+double parse_double(const std::string& origin, const util::KvEntry& entry,
+                    const std::string& text) {
+    if (text == "inf" || text == "infinity") {
+        return std::numeric_limits<double>::infinity();
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+        fail(origin, entry.line,
+             "key '" + entry.key + "' expects a number, got '" + text + "'");
+    }
+    return value;
+}
+
+int parse_int(const std::string& origin, const util::KvEntry& entry) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(entry.value.c_str(), &end, 10);
+    if (end == entry.value.c_str() || *end != '\0' || errno == ERANGE ||
+        value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+        fail(origin, entry.line,
+             "key '" + entry.key + "' expects an integer, got '" +
+                 entry.value + "'");
+    }
+    return static_cast<int>(value);
+}
+
+std::uint64_t parse_uint64(const std::string& origin,
+                           const util::KvEntry& entry) {
+    char* end = nullptr;
+    errno = 0;
+    // Base 0 so seeds read naturally in decimal or hex (0xD5EED).
+    const unsigned long long value =
+        std::strtoull(entry.value.c_str(), &end, 0);
+    if (end == entry.value.c_str() || *end != '\0' || errno == ERANGE ||
+        entry.value[0] == '-') {
+        fail(origin, entry.line,
+             "key '" + entry.key + "' expects a non-negative integer, got '" +
+                 entry.value + "'");
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+/// Split a comma-separated value, trimming each element; empty elements
+/// (",," or a trailing comma) are schema errors.
+std::vector<std::string> parse_list(const std::string& origin,
+                                    const util::KvEntry& entry) {
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    const std::string& text = entry.value;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        std::string item = text.substr(start, end - start);
+        const auto first = item.find_first_not_of(" \t");
+        const auto last = item.find_last_not_of(" \t");
+        item = first == std::string::npos
+                   ? ""
+                   : item.substr(first, last - first + 1);
+        if (item.empty()) {
+            fail(origin, entry.line,
+                 "key '" + entry.key + "' has an empty list element");
+        }
+        items.push_back(std::move(item));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+std::vector<double> parse_double_list(const std::string& origin,
+                                      const util::KvEntry& entry) {
+    std::vector<double> values;
+    for (const auto& item : parse_list(origin, entry)) {
+        values.push_back(parse_double(origin, entry, item));
+    }
+    return values;
+}
+
+sim::ArrivalKind parse_arrivals(const std::string& origin,
+                                const util::KvEntry& entry) {
+    if (entry.value == "uniform") return sim::ArrivalKind::kUniform;
+    if (entry.value == "poisson") return sim::ArrivalKind::kPoisson;
+    if (entry.value == "bursty") return sim::ArrivalKind::kBursty;
+    fail(origin, entry.line,
+         "key 'arrivals' expects uniform, poisson, or bursty, got '" +
+             entry.value + "'");
+}
+
+[[noreturn]] void unknown_key(const std::string& origin,
+                              const std::string& section,
+                              const util::KvEntry& entry) {
+    fail(origin, entry.line,
+         "unknown key '" + entry.key + "' in [" + section + "]");
+}
+
+void apply_sweep(const std::string& origin, const util::KvSection& section,
+                 ExperimentSpec& spec) {
+    for (const auto& entry : section.entries) {
+        if (entry.key == "name") {
+            spec.name = entry.value;
+        } else if (entry.key == "description") {
+            spec.description = entry.value;
+        } else if (entry.key == "title") {
+            spec.title = entry.value;
+        } else if (entry.key == "replicas") {
+            spec.replicas = parse_int(origin, entry);
+            if (spec.replicas < 1) {
+                fail(origin, entry.line, "replicas must be >= 1");
+            }
+        } else if (entry.key == "base_seed") {
+            spec.base_seed = parse_uint64(origin, entry);
+        } else if (entry.key == "metrics") {
+            spec.metrics = parse_list(origin, entry);
+        } else {
+            unknown_key(origin, "sweep", entry);
+        }
+    }
+    if (spec.name.empty()) {
+        fail(origin, section.line, "[sweep] requires a non-empty 'name'");
+    }
+}
+
+TraceEntry parse_trace(const std::string& origin,
+                       const util::KvSection& section) {
+    TraceEntry trace;
+    for (const auto& entry : section.entries) {
+        if (entry.key == "label") {
+            trace.label = entry.value;
+        } else if (entry.key == "duration_s") {
+            trace.config.duration_s = parse_double(origin, entry, entry.value);
+            if (!(trace.config.duration_s > 0.0)) {
+                fail(origin, entry.line, "duration_s must be positive");
+            }
+        } else if (entry.key == "event_count") {
+            trace.config.event_count = parse_int(origin, entry);
+            if (trace.config.event_count < 1) {
+                fail(origin, entry.line, "event_count must be >= 1");
+            }
+        } else if (entry.key == "total_harvest_mj") {
+            trace.config.total_harvest_mj =
+                parse_double(origin, entry, entry.value);
+            if (!(trace.config.total_harvest_mj > 0.0)) {
+                fail(origin, entry.line, "total_harvest_mj must be positive");
+            }
+        } else if (entry.key == "trace_seed") {
+            trace.config.trace_seed = parse_uint64(origin, entry);
+        } else if (entry.key == "event_seed") {
+            trace.config.event_seed = parse_uint64(origin, entry);
+        } else if (entry.key == "arrivals") {
+            trace.config.arrivals = parse_arrivals(origin, entry);
+        } else {
+            unknown_key(origin, "trace", entry);
+        }
+    }
+    if (trace.label.empty()) {
+        fail(origin, section.line, "[trace] requires a non-empty 'label'");
+    }
+    return trace;
+}
+
+SystemEntry parse_system(const std::string& origin,
+                         const util::KvSection& section) {
+    SystemEntry system;
+    for (const auto& entry : section.entries) {
+        if (entry.key == "label") {
+            system.label = entry.value;
+        } else if (entry.key == "kind") {
+            system.kind = entry.value;
+        } else if (entry.key == "policy") {
+            system.policy = entry.value;
+        } else if (entry.key == "train_episodes") {
+            system.train_episodes = parse_int(origin, entry);
+            if (system.train_episodes < 0) {
+                fail(origin, entry.line, "train_episodes must be >= 0");
+            }
+        } else if (entry.key == "quick_train_episodes") {
+            system.quick_train_episodes = parse_int(origin, entry);
+            if (system.quick_train_episodes < 0) {
+                fail(origin, entry.line, "quick_train_episodes must be >= 0");
+            }
+        } else {
+            unknown_key(origin, "system", entry);
+        }
+    }
+    if (system.label.empty()) {
+        fail(origin, section.line, "[system] requires a non-empty 'label'");
+    }
+    return system;
+}
+
+/// A single-key patch section: rejects anything but `key`, requires it.
+std::vector<double> patch_values(const std::string& origin,
+                                 const util::KvSection& section,
+                                 const std::string& key) {
+    std::vector<double> values;
+    for (const auto& entry : section.entries) {
+        if (entry.key != key) unknown_key(origin, section.name, entry);
+        values = parse_double_list(origin, entry);
+    }
+    if (values.empty()) {
+        fail(origin, section.line,
+             "[" + section.name + "] requires '" + key + " = v1, v2, ...'");
+    }
+    return values;
+}
+
+}  // namespace
+
+ExperimentSpec parse_experiment_spec(const std::string& text,
+                                     const std::string& origin) {
+    const auto sections = util::parse_kv_text(text, origin);
+
+    // Every schema key is single-valued; a repeated key would silently
+    // last-win (e.g. a split patch axis running half its grid), so it is a
+    // hard error like every other spec mistake.
+    for (const auto& section : sections) {
+        for (std::size_t i = 0; i < section.entries.size(); ++i) {
+            for (std::size_t j = 0; j < i; ++j) {
+                if (section.entries[i].key == section.entries[j].key) {
+                    fail(origin, section.entries[i].line,
+                         "duplicate key '" + section.entries[i].key +
+                             "' in [" + section.name + "]");
+                }
+            }
+        }
+    }
+
+    ExperimentSpec spec;
+    spec.traces.clear();  // [trace] sections replace the default
+    bool saw_sweep = false;
+    bool saw_storage = false, saw_deadline = false, saw_policy = false;
+    for (const auto& section : sections) {
+        if (section.name == "sweep") {
+            if (saw_sweep) {
+                fail(origin, section.line, "duplicate [sweep] section");
+            }
+            saw_sweep = true;
+            apply_sweep(origin, section, spec);
+        } else if (section.name == "trace") {
+            spec.traces.push_back(parse_trace(origin, section));
+        } else if (section.name == "system") {
+            const SystemEntry system = parse_system(origin, section);
+            for (const auto& existing : spec.systems) {
+                if (existing.label == system.label) {
+                    fail(origin, section.line,
+                         "duplicate system label '" + system.label + "'");
+                }
+            }
+            spec.systems.push_back(system);
+        } else if (section.name == "patch.storage") {
+            if (saw_storage) {
+                fail(origin, section.line, "duplicate [patch.storage]");
+            }
+            saw_storage = true;
+            spec.storage_mj = patch_values(origin, section, "capacity_mj");
+        } else if (section.name == "patch.deadline") {
+            if (saw_deadline) {
+                fail(origin, section.line, "duplicate [patch.deadline]");
+            }
+            saw_deadline = true;
+            spec.deadline_s = patch_values(origin, section, "deadline_s");
+        } else if (section.name == "patch.policy") {
+            if (saw_policy) {
+                fail(origin, section.line, "duplicate [patch.policy]");
+            }
+            saw_policy = true;
+            for (const auto& entry : section.entries) {
+                if (entry.key != "policies") {
+                    unknown_key(origin, "patch.policy", entry);
+                }
+                spec.policies = parse_list(origin, entry);
+            }
+            if (spec.policies.empty()) {
+                fail(origin, section.line,
+                     "[patch.policy] requires 'policies = name1, name2, ...'");
+            }
+        } else {
+            fail(origin, section.line,
+                 "unknown section [" + section.name +
+                     "] (expected sweep, trace, system, patch.storage, "
+                     "patch.deadline, patch.policy)");
+        }
+    }
+    if (!saw_sweep) {
+        fail(origin, 1, "missing required [sweep] section");
+    }
+    if (spec.systems.empty()) {
+        fail(origin, 1, "spec declares no [system] section");
+    }
+    if (spec.traces.empty()) spec.traces = {TraceEntry{}};
+    return spec;
+}
+
+ExperimentSpec load_experiment_spec(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) {
+        throw std::runtime_error(path + ": cannot open spec file");
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    return parse_experiment_spec(contents.str(), path);
+}
+
+}  // namespace imx::exp

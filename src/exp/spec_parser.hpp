@@ -1,0 +1,67 @@
+/// \file
+/// \brief Spec-file front end for the declarative experiment API: load an
+/// ExperimentSpec from an INI-style file, so arbitrary new sweep grids run
+/// through `imx_sweep --spec FILE` with zero recompilation.
+///
+/// Schema (sample specs under examples/experiments/, full reference in
+/// docs/experiments.md):
+///
+///     [sweep]                  # exactly once
+///     name = my-sweep          # required
+///     description = ...        # optional one-liner
+///     title = ...              # optional report table title
+///     replicas = 2             # optional, default 1 (CLI --replicas wins)
+///     base_seed = 0xD5EED      # optional (CLI --base-seed wins)
+///     metrics = iepmj, ...     # optional generic-report columns
+///
+///     [trace]                  # optional, repeatable; default paper-solar
+///     label = paper-solar
+///     duration_s = 13000       # any subset of the canonical SetupConfig
+///     event_count = 500        # fields may be overridden
+///     total_harvest_mj = 281.5
+///     trace_seed = 7
+///     event_seed = 99
+///     arrivals = uniform       # uniform | poisson | bursty
+///
+///     [system]                 # at least once
+///     label = ours
+///     kind = ours-policy       # ours-qlearning | ours-static | ours-policy
+///                              # | sonic | sparse | lenet
+///     policy = greedy          # sim::policies name (ours-* only)
+///     train_episodes = 12
+///     quick_train_episodes = 4
+///
+///     [patch.storage]          # each patch.* section at most once; the
+///     capacity_mj = 3, 6, 12   # present axes cross into a full factorial
+///     [patch.deadline]         # grid (storage x deadline x policy order)
+///     deadline_s = 60, inf
+///     [patch.policy]
+///     policies = greedy, slack-greedy
+///
+/// Unknown sections and unknown keys are hard errors with "file:line"
+/// diagnostics — a typo must never silently change what a sweep computes.
+/// Semantic validation (unknown kinds/policies, empty system list) happens
+/// in make_sweep() when the spec expands.
+#ifndef IMX_EXP_SPEC_PARSER_HPP
+#define IMX_EXP_SPEC_PARSER_HPP
+
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace imx::exp {
+
+/// \brief Parse a declarative spec from INI-style text.
+/// \param text the spec contents.
+/// \param origin label used in diagnostics (file path or "<string>").
+/// \throws util::KvParseError on syntax errors, std::runtime_error on
+///   schema violations (unknown key/section, bad number, duplicates).
+ExperimentSpec parse_experiment_spec(const std::string& text,
+                                     const std::string& origin = "<string>");
+
+/// \brief Read and parse a spec file.
+ExperimentSpec load_experiment_spec(const std::string& path);
+
+}  // namespace imx::exp
+
+#endif  // IMX_EXP_SPEC_PARSER_HPP

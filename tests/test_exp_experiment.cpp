@@ -1,0 +1,380 @@
+// Tests for the declarative experiment API: the kvfile parser, the
+// experiment registry, spec-file round-trips against the registered
+// built-ins (ids / dims / seeds of the expanded grids must be identical),
+// malformed-spec diagnostics, and the --base-seed / --replicas resolution
+// rules.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/spec_parser.hpp"
+#include "util/kvfile.hpp"
+
+#ifndef IMX_SPEC_DIR
+#error "IMX_SPEC_DIR must point at examples/experiments"
+#endif
+
+namespace {
+
+using namespace imx;
+
+// --- util/kvfile ----------------------------------------------------------
+
+TEST(KvFile, ParsesSectionsEntriesAndComments) {
+    const auto sections = util::parse_kv_text(
+        "# comment\n"
+        "[alpha]\n"
+        "key = value\n"
+        "  padded   =   spaced out  \n"
+        "; another comment\n"
+        "[alpha]\n"
+        "k2 = a = b\n");
+    ASSERT_EQ(sections.size(), 2u);
+    EXPECT_EQ(sections[0].name, "alpha");
+    EXPECT_EQ(sections[0].line, 2);
+    ASSERT_EQ(sections[0].entries.size(), 2u);
+    EXPECT_EQ(sections[0].entries[0].key, "key");
+    EXPECT_EQ(sections[0].entries[0].value, "value");
+    EXPECT_EQ(sections[0].entries[1].key, "padded");
+    EXPECT_EQ(sections[0].entries[1].value, "spaced out");
+    EXPECT_EQ(sections[0].entries[1].line, 4);
+    // Repeated section names are distinct nodes; '=' in a value survives.
+    EXPECT_EQ(sections[1].entries[0].value, "a = b");
+}
+
+TEST(KvFile, RejectsMalformedLines) {
+    EXPECT_THROW(util::parse_kv_text("key = 1\n"), util::KvParseError);
+    EXPECT_THROW(util::parse_kv_text("[open\n"), util::KvParseError);
+    EXPECT_THROW(util::parse_kv_text("[s]\nnot a kv line\n"),
+                 util::KvParseError);
+    EXPECT_THROW(util::parse_kv_text("[s]\n= empty key\n"),
+                 util::KvParseError);
+    try {
+        util::parse_kv_text("[s]\nbroken\n", "my.ini");
+        FAIL() << "expected KvParseError";
+    } catch (const util::KvParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("my.ini:2"), std::string::npos);
+    }
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(ExperimentRegistry, BuiltInsAreRegistered) {
+    const auto names = exp::experiment_names();
+    const std::set<std::string> set(names.begin(), names.end());
+    for (const char* name :
+         {"fig1b-exit-accuracy", "fig4-compression-policy", "fig5-iepmj",
+          "fig6-flops", "fig7a-runtime-learning", "fig7b-exit-distribution",
+          "latency-table", "ablation-runtime", "ablation-search",
+          "ablation-trace", "ablation-storage-deadline",
+          "ablation-deadline-policy"}) {
+        EXPECT_TRUE(set.count(name)) << name;
+        EXPECT_TRUE(exp::has_experiment(name)) << name;
+        EXPECT_FALSE(exp::experiment_description(name).empty()) << name;
+    }
+}
+
+TEST(ExperimentRegistry, UnknownNameListsEveryRegisteredName) {
+    try {
+        (void)exp::make_experiment("no-such-experiment");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no-such-experiment"), std::string::npos);
+        EXPECT_NE(what.find("fig5-iepmj"), std::string::npos);
+        EXPECT_NE(what.find("ablation-storage-deadline"), std::string::npos);
+    }
+}
+
+TEST(ExperimentRegistry, CustomExperimentsRegisterAndResolve) {
+    exp::register_experiment("test-custom", [] {
+        exp::Experiment e;
+        e.spec.name = "test-custom";
+        e.spec.description = "registered from a test";
+        e.spec.systems = {{"s", "ours-static", "", 0, 0}};
+        return e;
+    });
+    EXPECT_TRUE(exp::has_experiment("test-custom"));
+    const auto experiment = exp::make_experiment("test-custom");
+    EXPECT_EQ(experiment.spec.name, "test-custom");
+    const auto specs = exp::build_experiment_scenarios(experiment, {});
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].id, "paper-solar/s#0");
+}
+
+// --- spec-file round-trips ------------------------------------------------
+
+void expect_same_grid(const std::vector<exp::ScenarioSpec>& from_spec,
+                      const std::vector<exp::ScenarioSpec>& from_registry) {
+    ASSERT_EQ(from_spec.size(), from_registry.size());
+    for (std::size_t i = 0; i < from_spec.size(); ++i) {
+        EXPECT_EQ(from_spec[i].id, from_registry[i].id);
+        EXPECT_EQ(from_spec[i].group, from_registry[i].group);
+        EXPECT_EQ(from_spec[i].dims, from_registry[i].dims);
+        EXPECT_EQ(from_spec[i].replica, from_registry[i].replica);
+        EXPECT_EQ(from_spec[i].seed, from_registry[i].seed);
+    }
+}
+
+TEST(SpecRoundTrip, StorageDeadlinePolicyMatchesRegisteredExperiment) {
+    const auto spec = exp::load_experiment_spec(
+        std::string(IMX_SPEC_DIR) + "/storage_deadline_policy.ini");
+    EXPECT_EQ(spec.name, "ablation-storage-deadline");
+
+    for (const bool quick : {false, true}) {
+        exp::SweepCli cli;
+        cli.quick = quick;
+        cli.replicas = 2;
+        cli.replicas_given = true;
+        expect_same_grid(
+            exp::expand_experiment(spec, cli),
+            exp::build_experiment_scenarios(
+                exp::make_experiment("ablation-storage-deadline"), cli));
+    }
+}
+
+TEST(SpecRoundTrip, PaperBaselinesMatchesFig5Grid) {
+    const auto spec = exp::load_experiment_spec(std::string(IMX_SPEC_DIR) +
+                                                "/paper_baselines.ini");
+    exp::SweepCli cli;
+    cli.quick = true;
+    cli.replicas = 3;
+    cli.replicas_given = true;
+    expect_same_grid(exp::expand_experiment(spec, cli),
+                     exp::build_experiment_scenarios(
+                         exp::make_experiment("fig5-iepmj"), cli));
+}
+
+TEST(SpecRoundTrip, BurstySlackGridParsesAndExpands) {
+    const auto spec = exp::load_experiment_spec(std::string(IMX_SPEC_DIR) +
+                                                "/bursty_slack_grid.ini");
+    EXPECT_EQ(spec.name, "bursty-slack-grid");
+    ASSERT_EQ(spec.traces.size(), 2u);
+    EXPECT_EQ(spec.traces[1].config.arrivals, sim::ArrivalKind::kBursty);
+    EXPECT_EQ(spec.traces[1].config.event_seed, 321u);
+
+    const auto specs = exp::expand_experiment(spec, {});
+    // 2 traces x 2 systems x (2 storage x 2 deadline) x 1 replica.
+    ASSERT_EQ(specs.size(), 16u);
+    EXPECT_EQ(specs[0].id,
+              "uniform-arrivals/slack-blind Q/cap1.5mJ+ddl45s#0");
+    EXPECT_EQ(specs[0].dims.at("storage_mj"), "1.5");
+    EXPECT_EQ(specs[0].dims.at("deadline_s"), "45");
+}
+
+// --- malformed specs ------------------------------------------------------
+
+std::string valid_spec() {
+    return "[sweep]\n"
+           "name = t\n"
+           "[system]\n"
+           "label = s\n"
+           "kind = ours-static\n";
+}
+
+void expect_parse_error(const std::string& text, const std::string& needle) {
+    try {
+        (void)exp::parse_experiment_spec(text, "spec.ini");
+        FAIL() << "expected failure containing '" << needle << "'";
+    } catch (const std::exception& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpecParser, AcceptsTheMinimalSpec) {
+    const auto spec = exp::parse_experiment_spec(valid_spec());
+    EXPECT_EQ(spec.name, "t");
+    ASSERT_EQ(spec.traces.size(), 1u);  // default paper-solar
+    EXPECT_EQ(spec.traces[0].label, "paper-solar");
+    EXPECT_EQ(spec.replicas, 1);
+    EXPECT_EQ(spec.base_seed, exp::kDefaultBaseSeed);
+}
+
+TEST(SpecParser, RejectsRepeatedKeysWithinASection) {
+    // A repeated key would silently last-win — e.g. a patch axis split
+    // across two lines would run half its grid.
+    expect_parse_error(
+        valid_spec() + "[patch.storage]\ncapacity_mj = 3\ncapacity_mj = 6\n",
+        "duplicate key 'capacity_mj'");
+    expect_parse_error("[sweep]\nname = a\nname = b\n[system]\nlabel = s\n",
+                       "duplicate key 'name'");
+    expect_parse_error(valid_spec() + "[system]\nlabel = s2\nkind = sonic\n"
+                                      "kind = lenet\n",
+                       "duplicate key 'kind'");
+}
+
+TEST(SpecParser, RejectsUnknownKeysAndSections) {
+    expect_parse_error("[sweep]\nname = t\nreplics = 2\n[system]\nlabel=s\n",
+                       "unknown key 'replics'");
+    expect_parse_error(valid_spec() + "[patches]\nx = 1\n",
+                       "unknown section [patches]");
+    expect_parse_error(valid_spec() + "[system]\nlabel = s2\nkinds = x\n",
+                       "unknown key 'kinds'");
+    expect_parse_error(valid_spec() + "[patch.storage]\ndeadline_s = 3\n",
+                       "unknown key 'deadline_s'");
+}
+
+TEST(SpecParser, RejectsBadNumbers) {
+    expect_parse_error("[sweep]\nname = t\nreplicas = many\n",
+                       "expects an integer");
+    expect_parse_error(valid_spec() + "[patch.storage]\ncapacity_mj = 3, x\n",
+                       "expects a number");
+    expect_parse_error(valid_spec() + "[patch.deadline]\ndeadline_s = 60,,\n",
+                       "empty list element");
+    expect_parse_error("[sweep]\nname = t\nbase_seed = -4\n",
+                       "non-negative");
+    expect_parse_error(valid_spec() + "[trace]\nlabel = x\nevent_count = 0\n",
+                       "event_count must be >= 1");
+}
+
+TEST(SpecParser, RejectsStructuralMistakes) {
+    expect_parse_error(valid_spec() + "[system]\nlabel = s\nkind = sonic\n",
+                       "duplicate system label 's'");
+    expect_parse_error(valid_spec() + "[sweep]\nname = again\n",
+                       "duplicate [sweep]");
+    expect_parse_error("[system]\nlabel = s\n", "missing required [sweep]");
+    expect_parse_error("[sweep]\nname = t\n", "no [system]");
+    expect_parse_error("[sweep]\ndescription = unnamed\n[system]\nlabel=s\n",
+                       "non-empty 'name'");
+    expect_parse_error(
+        valid_spec() + "[patch.policy]\npolicies = greedy\n"
+                       "[patch.policy]\npolicies = qlearning\n",
+        "duplicate [patch.policy]");
+}
+
+TEST(SpecParser, SemanticErrorsSurfaceAtExpansion) {
+    // Unknown kinds/policies parse fine (the parser owns syntax) but fail
+    // loudly in make_sweep before anything runs.
+    auto spec = exp::parse_experiment_spec(
+        "[sweep]\nname = t\n[system]\nlabel = s\nkind = resnet\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+
+    spec = exp::parse_experiment_spec(
+        "[sweep]\nname = t\n[system]\nlabel = s\nkind = ours-policy\n"
+        "policy = not-a-policy\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+
+    // A policy axis cannot cross a checkpointed baseline.
+    spec = exp::parse_experiment_spec(
+        "[sweep]\nname = t\n[system]\nlabel = s\nkind = sonic\n"
+        "[patch.policy]\npolicies = greedy\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+
+    // ours-policy with neither a policy name nor a policy axis.
+    spec = exp::parse_experiment_spec(
+        "[sweep]\nname = t\n[system]\nlabel = s\nkind = ours-policy\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+}
+
+TEST(SpecParser, DuplicateTracesAndAxisValuesFailAtExpansion) {
+    // Each duplicate would expand to colliding scenario ids, silently
+    // folding distinct cells into one aggregation group.
+    auto spec = exp::parse_experiment_spec(
+        valid_spec() + "[trace]\nlabel = x\n[trace]\nlabel = x\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+
+    spec = exp::parse_experiment_spec(
+        valid_spec() + "[patch.deadline]\ndeadline_s = 60, 60\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+
+    spec = exp::parse_experiment_spec(
+        valid_spec() + "[patch.storage]\ncapacity_mj = 3, 3\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+
+    spec = exp::parse_experiment_spec(
+        "[sweep]\nname = t\n[system]\nlabel = s\nkind = ours-policy\n"
+        "[patch.policy]\npolicies = greedy, greedy\n");
+    EXPECT_THROW((void)exp::expand_experiment(spec, {}),
+                 std::invalid_argument);
+}
+
+// --- option resolution ----------------------------------------------------
+
+TEST(OptionResolution, SpecDefaultsYieldToExplicitCliFlags) {
+    exp::ExperimentSpec spec;
+    spec.name = "t";
+    spec.systems = {{"s", "ours-static", "", 0, 0}};
+    spec.replicas = 3;
+    spec.base_seed = 42;
+
+    // No CLI flags: the spec's defaults apply.
+    auto resolved = exp::resolve_options(spec, {});
+    EXPECT_EQ(resolved.replicas, 3);
+    EXPECT_EQ(resolved.base_seed, 42u);
+
+    // Explicit flags win, including --replicas 1 over a spec default of 3.
+    exp::SweepCli cli;
+    cli.replicas = 1;
+    cli.replicas_given = true;
+    cli.base_seed = 7;
+    cli.base_seed_given = true;
+    resolved = exp::resolve_options(spec, cli);
+    EXPECT_EQ(resolved.replicas, 1);
+    EXPECT_EQ(resolved.base_seed, 7u);
+}
+
+TEST(BaseSeed, ReRollsEveryStreamAndDefaultsToTheHistoricalSeed) {
+    exp::ExperimentSpec spec;
+    spec.name = "t";
+    spec.systems = {{"s", "ours-static", "", 0, 0}};
+
+    const auto default_grid = exp::expand_experiment(spec, {});
+    ASSERT_EQ(default_grid.size(), 1u);
+    EXPECT_EQ(default_grid[0].seed,
+              exp::scenario_seed(exp::kDefaultBaseSeed, "paper-solar/s", 0));
+
+    exp::SweepCli rerolled;
+    rerolled.base_seed = 0xBEEF;
+    rerolled.base_seed_given = true;
+    const auto rerolled_grid = exp::expand_experiment(spec, rerolled);
+    EXPECT_EQ(rerolled_grid[0].seed,
+              exp::scenario_seed(0xBEEF, "paper-solar/s", 0));
+    EXPECT_NE(rerolled_grid[0].seed, default_grid[0].seed);
+}
+
+TEST(QuickMode, ShrinksTracesAndEpisodesLikeTheHistoricalBenches) {
+    const core::SetupConfig full;
+    const auto quick = exp::quick_setup_config(full);
+    EXPECT_DOUBLE_EQ(quick.duration_s, 4000.0);
+    EXPECT_EQ(quick.event_count, 150);
+    // Same harvest-per-second density as the full run.
+    EXPECT_NEAR(quick.total_harvest_mj / quick.duration_s,
+                full.total_harvest_mj / full.duration_s, 1e-12);
+
+    // Shrink only: a trace already below the smoke scale is left alone.
+    core::SetupConfig tiny;
+    tiny.duration_s = 1000.0;
+    tiny.event_count = 50;
+    tiny.total_harvest_mj = 20.0;
+    const auto tiny_quick = exp::quick_setup_config(tiny);
+    EXPECT_DOUBLE_EQ(tiny_quick.duration_s, 1000.0);
+    EXPECT_EQ(tiny_quick.event_count, 50);
+    EXPECT_DOUBLE_EQ(tiny_quick.total_harvest_mj, 20.0);
+
+    exp::SweepCli cli;
+    EXPECT_EQ(exp::sweep_episodes(cli, 16), 16);
+    cli.quick = true;
+    EXPECT_EQ(exp::sweep_episodes(cli, 16), 4);
+
+    // Quick mode swaps the learning systems onto quick_train_episodes.
+    exp::ExperimentSpec spec;
+    spec.name = "t";
+    spec.systems = {{"q", "ours-qlearning", "", 12, 3}};
+    EXPECT_EQ(exp::make_sweep(spec, {}).systems[0].train_episodes, 12);
+    EXPECT_EQ(exp::make_sweep(spec, cli).systems[0].train_episodes, 3);
+}
+
+}  // namespace
