@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "energy/trace_registry.hpp"
 #include "exp/cli.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
@@ -37,6 +38,12 @@ int list_experiments() {
     for (const auto& name : exp::experiment_names()) {
         std::printf("  %-28s %s\n", name.c_str(),
                     exp::experiment_description(name).c_str());
+    }
+    std::printf("\nregistered trace sources (spec `[trace.<label>]` "
+                "sections, docs/energy-sources.md):\n");
+    for (const auto& name : energy::trace_source_names()) {
+        std::printf("  %-28s %s\n", name.c_str(),
+                    energy::trace_source_description(name).c_str());
     }
     std::printf(
         "\nrun one with `imx_sweep <name>`, or declare your own grid in a "

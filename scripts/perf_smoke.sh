@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Release perf smoke: time imx_sweep on representative grids and emit a
+# BENCH_sweep.json so CI's artifact trail tracks a scenarios/second
+# trajectory over time (grid label, wall seconds, scenario count, rate).
+#
+# Usage: scripts/perf_smoke.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    defaults to "build"
+#   OUTPUT_JSON  defaults to "BENCH_sweep.json"
+#
+# Runs in quick mode so a CI lane finishes in seconds; the numbers are for
+# trend lines (regressions of 2x show up clearly), not for microbenchmark
+# precision — bench/micro_* owns that.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_sweep.json}
+SWEEP="$BUILD_DIR/imx_sweep"
+SPEC_DIR="$(cd "$(dirname "$0")/.." && pwd)/examples/experiments"
+
+if [ ! -x "$SWEEP" ]; then
+    echo "error: $SWEEP is not built (run cmake --build $BUILD_DIR first)" >&2
+    exit 1
+fi
+
+commit=${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD 2>/dev/null || echo unknown)}
+entries=""
+
+run_case() {
+    local label=$1
+    shift
+    # The scenario count comes from the same expansion the timed run uses.
+    local scenarios
+    scenarios=$("$SWEEP" "$@" --dry-run | awk '/scenario\(s\)$/ {print $1}')
+    if [ -z "$scenarios" ]; then
+        echo "error: could not count scenarios for $label" >&2
+        exit 1
+    fi
+    local t0 t1 wall rate
+    t0=$(date +%s.%N)
+    "$SWEEP" "$@" > /dev/null
+    t1=$(date +%s.%N)
+    wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.3f", b - a}')
+    rate=$(awk -v s="$scenarios" -v w="$wall" \
+               'BEGIN {printf "%.3f", (w > 0 ? s / w : 0)}')
+    echo "  $label: ${wall} s for $scenarios scenario(s) -> $rate/s"
+    entries+="${entries:+,}"
+    entries+=$'\n'"    {\"grid\": \"$label\", \"wall_seconds\": $wall,"
+    entries+=" \"scenarios\": $scenarios, \"scenarios_per_sec\": $rate}"
+}
+
+echo "imx_sweep perf smoke ($SWEEP):"
+run_case "fig5-iepmj (--quick --replicas 2)" \
+         fig5-iepmj --quick --replicas 2
+run_case "latency-table (--quick --replicas 2)" \
+         latency-table --quick --replicas 2
+run_case "harvester_ablation.ini (--quick)" \
+         --spec "$SPEC_DIR/harvester_ablation.ini" --quick
+
+printf '{\n  "bench": "imx_sweep perf smoke",\n  "commit": "%s",\n  "results": [%s\n  ]\n}\n' \
+       "$commit" "$entries" > "$OUT"
+echo "wrote $OUT"

@@ -1,7 +1,7 @@
 #include "core/experiment_setup.hpp"
 
 #include "core/multi_exit_spec.hpp"
-#include "energy/solar.hpp"
+#include "energy/trace_registry.hpp"
 
 namespace imx::core {
 
@@ -33,22 +33,18 @@ mcu::McuConfig paper_mcu_config() {
 }
 
 ExperimentSetup make_paper_setup(const SetupConfig& config) {
-    energy::SolarConfig solar;
-    solar.days = 1.0;
-    solar.dt_s = 1.0;
-    solar.peak_power_mw = 0.08;
-    // The evaluation covers the harvesting day (sunrise..sunset window of
-    // the RSR-style profile), compressed into the experiment duration; the
-    // total energy is rescaled to the Fig. 5-implied budget below.
-    solar.window_start_hour = solar.sunrise_hour;
-    solar.window_end_hour = solar.sunset_hour;
-    solar.envelope_exponent = 2.0;
-    solar.time_compression =
-        (solar.window_end_hour - solar.window_start_hour) * 3600.0 /
-        config.duration_s;
-    solar.seed = config.trace_seed;
-
-    energy::PowerTrace trace = energy::make_solar_trace(solar);
+    // The harvesting environment comes from the trace registry; the default
+    // "solar" source reproduces the historical hard-coded daylight profile
+    // (sunrise..sunset window compressed into the experiment duration)
+    // bitwise. Every environment is rescaled to the Fig. 5-implied energy
+    // budget so sources compare at the same income.
+    energy::TraceSourceContext trace_ctx;
+    trace_ctx.duration_s = config.duration_s;
+    trace_ctx.dt_s = 1.0;
+    trace_ctx.seed = config.trace_seed;
+    energy::PowerTrace trace =
+        energy::make_trace(config.trace_source, trace_ctx,
+                           config.trace_params);
     trace.rescale_total_energy(config.total_harvest_mj);
 
     sim::EventGenConfig events_cfg;

@@ -15,6 +15,7 @@
 #include "compress/network_desc.hpp"
 #include "core/accuracy_model.hpp"
 #include "energy/power_trace.hpp"
+#include "energy/trace_registry.hpp"
 #include "sim/event_gen.hpp"
 #include "sim/simulator.hpp"
 
@@ -27,6 +28,14 @@ struct SetupConfig {
     std::uint64_t trace_seed = 7;
     std::uint64_t event_seed = 99;
     sim::ArrivalKind arrivals = sim::ArrivalKind::kUniform;
+    /// Harvesting environment, resolved through the energy trace registry
+    /// (energy/trace_registry.hpp). The default — "solar" with an empty
+    /// parameter map — is the canonical paper trace, bitwise identical to
+    /// the pre-registry hard-coded solar path. Every trace is rescaled to
+    /// total_harvest_mj so environments compare at the same energy budget;
+    /// file-backed sources ("csv") take their duration/grid from the file.
+    std::string trace_source = "solar";
+    energy::TraceParams trace_params;
 };
 
 /// Everything a bench needs to run the paper's evaluation.

@@ -1,0 +1,42 @@
+#include "energy/ou.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace imx::energy {
+
+PowerTrace make_ou_drift_trace(const OuDriftConfig& config) {
+    IMX_EXPECTS(config.duration_s > 0.0);
+    IMX_EXPECTS(config.dt_s > 0.0);
+    IMX_EXPECTS(config.mean_power_mw > 0.0);
+    IMX_EXPECTS(config.reversion_rate > 0.0);
+    IMX_EXPECTS(config.sigma >= 0.0);
+    IMX_EXPECTS(config.floor_mw >= 0.0);
+    IMX_EXPECTS(config.floor_mw <= config.mean_power_mw);
+
+    const auto n =
+        static_cast<std::size_t>(std::ceil(config.duration_s / config.dt_s));
+    IMX_EXPECTS(n > 0);
+
+    util::Rng rng(config.seed);
+    std::vector<double> samples(n, 0.0);
+
+    // Euler-Maruyama, started at the mean so short traces are not biased by
+    // a burn-in transient.
+    double power = config.mean_power_mw;
+    const double sqrt_dt = std::sqrt(config.dt_s);
+    for (std::size_t i = 0; i < n; ++i) {
+        power += config.reversion_rate * (config.mean_power_mw - power) *
+                     config.dt_s +
+                 config.sigma * sqrt_dt * rng.normal();
+        power = std::max(power, config.floor_mw);
+        samples[i] = power;
+    }
+    return PowerTrace(config.dt_s, std::move(samples));
+}
+
+}  // namespace imx::energy

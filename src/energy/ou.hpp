@@ -1,0 +1,37 @@
+// Wind / thermal-gradient harvesting profile: Ornstein-Uhlenbeck drift
+// around a mean income.
+//
+// Small wind turbines and thermoelectric generators deliver a continuously
+// varying power that wanders around a climatological mean on minute
+// timescales — unlike solar there is no day/night envelope, and unlike RF
+// there are no hard on/off edges. The mean-reverting OU process
+//   dP = theta * (mean - P) dt + sigma dW
+// (clamped at floor_mw) captures that: `reversion_rate` sets how quickly
+// gusts and lulls decay, `sigma` how violent they are. This is the
+// "energy-aware dynamic inference" operating regime of Bullo et al., and a
+// useful stress test for exit policies tuned on the solar envelope.
+#ifndef IMX_ENERGY_OU_HPP
+#define IMX_ENERGY_OU_HPP
+
+#include <cstdint>
+
+#include "energy/power_trace.hpp"
+
+namespace imx::energy {
+
+struct OuDriftConfig {
+    double duration_s = 13000.0;
+    double dt_s = 1.0;
+    double mean_power_mw = 0.03;   ///< long-run mean income
+    double reversion_rate = 0.005; ///< theta: gust/lull decay rate (1/s)
+    double sigma = 0.004;          ///< diffusion (mW per sqrt(s))
+    double floor_mw = 0.0;         ///< hard floor (a stalled turbine gives 0)
+    std::uint64_t seed = 7;
+};
+
+/// Generate a mean-reverting (OU) drift harvesting trace.
+PowerTrace make_ou_drift_trace(const OuDriftConfig& config);
+
+}  // namespace imx::energy
+
+#endif  // IMX_ENERGY_OU_HPP

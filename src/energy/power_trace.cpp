@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
@@ -96,6 +98,23 @@ PowerTrace PowerTrace::from_csv(const std::string& path) {
     const std::vector<double> times = table.numeric_column("time_s");
     const std::vector<double> power = table.numeric_column("power_mw");
     const double dt = times[1] - times[0];
+    if (!(dt > 0.0)) {
+        throw std::invalid_argument(path +
+                                    ": time_s must be strictly increasing");
+    }
+    // The representation is a uniform grid: a logger export with dropped or
+    // irregular samples would otherwise replay on the wrong time base and
+    // silently skew every downstream metric.
+    const double tolerance = 1e-6 * dt;
+    for (std::size_t i = 2; i < times.size(); ++i) {
+        const double step = times[i] - times[i - 1];
+        if (std::abs(step - dt) > tolerance) {
+            throw std::invalid_argument(
+                path + ": non-uniform time_s spacing at row " +
+                std::to_string(i + 2) + " (step " + std::to_string(step) +
+                " s vs dt " + std::to_string(dt) + " s)");
+        }
+    }
     return PowerTrace(dt, power);
 }
 

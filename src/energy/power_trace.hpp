@@ -43,8 +43,10 @@ public:
     static PowerTrace square_wave(double power_mw, double period_s,
                                   double duty_cycle, double duration_s,
                                   double dt_s);
-    /// Load from CSV with columns time_s,power_mw (uniform spacing assumed;
-    /// dt taken from the first two rows).
+    /// Load from CSV with columns time_s,power_mw. dt comes from the first
+    /// two rows; a non-monotonic or non-uniform time column throws
+    /// std::invalid_argument (the representation is a uniform grid — an
+    /// irregular logger export would replay on the wrong time base).
     static PowerTrace from_csv(const std::string& path);
 
     /// Write the trace as CSV (columns time_s,power_mw), the same format

@@ -1,0 +1,52 @@
+#include "energy/rf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace imx::energy {
+
+PowerTrace make_rf_bursty_trace(const RfBurstyConfig& config) {
+    IMX_EXPECTS(config.duration_s > 0.0);
+    IMX_EXPECTS(config.dt_s > 0.0);
+    IMX_EXPECTS(config.burst_power_mw > 0.0);
+    IMX_EXPECTS(config.idle_power_mw >= 0.0);
+    IMX_EXPECTS(config.mean_on_s > 0.0);
+    IMX_EXPECTS(config.mean_off_s > 0.0);
+    IMX_EXPECTS(config.power_jitter >= 0.0);
+
+    const auto n =
+        static_cast<std::size_t>(std::ceil(config.duration_s / config.dt_s));
+    IMX_EXPECTS(n > 0);
+
+    util::Rng rng(config.seed);
+    std::vector<double> samples(n, 0.0);
+
+    // Continuous-time two-state chain sampled on the dt grid: dwell times
+    // are exponential, drawn once per state visit, so the trace texture is
+    // independent of dt (no geometric-per-step approximation error).
+    bool on = false;
+    double dwell_left_s = rng.exponential(1.0 / config.mean_off_s);
+    double burst_power = config.burst_power_mw;
+    for (std::size_t i = 0; i < n; ++i) {
+        while (dwell_left_s <= 0.0) {
+            on = !on;
+            if (on) {
+                dwell_left_s += rng.exponential(1.0 / config.mean_on_s);
+                burst_power =
+                    config.burst_power_mw *
+                    std::max(0.0, 1.0 + config.power_jitter * rng.normal());
+            } else {
+                dwell_left_s += rng.exponential(1.0 / config.mean_off_s);
+            }
+        }
+        samples[i] = on ? burst_power : config.idle_power_mw;
+        dwell_left_s -= config.dt_s;
+    }
+    return PowerTrace(config.dt_s, std::move(samples));
+}
+
+}  // namespace imx::energy

@@ -1,0 +1,41 @@
+// RF / base-station harvesting profile: Markov-modulated on/off bursts.
+//
+// Ambient-RF and wireless-power-transfer harvesters see nothing most of the
+// time and short high-power dwells when a beacon, downlink burst, or beam
+// sweep passes over them (Gobieski et al., "Intelligence Beyond the Edge",
+// evaluate intermittent inference on exactly this kind of source). The
+// two-state Markov chain below reproduces that texture: exponentially
+// distributed dwell times in an "on" state (burst_power_mw, jittered per
+// burst) and an "off" state (idle_power_mw, typically 0), sampled every
+// dt_s seconds. Mean income is burst * on/(on+off) + idle * off/(on+off),
+// so the default ~10 % duty cycle is a weak, unpredictable trickle — the
+// paper's Sec. I premise under a non-solar harvester.
+#ifndef IMX_ENERGY_RF_HPP
+#define IMX_ENERGY_RF_HPP
+
+#include <cstdint>
+
+#include "energy/power_trace.hpp"
+
+namespace imx::energy {
+
+struct RfBurstyConfig {
+    double duration_s = 13000.0;
+    double dt_s = 1.0;
+    double burst_power_mw = 0.5;  ///< harvest power while a burst dwells
+    double idle_power_mw = 0.0;   ///< background income between bursts
+    double mean_on_s = 3.0;       ///< mean burst dwell (exponential)
+    double mean_off_s = 27.0;     ///< mean gap between bursts (exponential)
+    /// Per-burst amplitude jitter: each burst's power is
+    /// burst_power_mw * max(0, 1 + jitter * N(0,1)), modelling fading and
+    /// distance variation between beam passes. 0 = every burst identical.
+    double power_jitter = 0.25;
+    std::uint64_t seed = 7;
+};
+
+/// Generate a Markov-modulated on/off RF harvesting trace.
+PowerTrace make_rf_bursty_trace(const RfBurstyConfig& config);
+
+}  // namespace imx::energy
+
+#endif  // IMX_ENERGY_RF_HPP

@@ -1,0 +1,358 @@
+#include "energy/trace_registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "energy/ou.hpp"
+#include "energy/rf.hpp"
+#include "energy/solar.hpp"
+#include "util/contracts.hpp"
+
+namespace imx::energy {
+
+namespace {
+
+struct TraceSource {
+    TraceSourceFactory factory;
+    std::string description;
+    std::vector<std::string> param_names;
+    bool uses_context_duration = true;
+};
+
+std::mutex& registry_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+/// The paper's canonical daylight-windowed solar profile. The default
+/// parameter values below MUST stay in lockstep with what
+/// core::make_paper_setup() historically hard-coded: the "solar" source
+/// with an empty parameter map is the canonical trace, bitwise
+/// (tests/test_energy_sources.cpp pins this).
+PowerTrace solar_source(const TraceSourceContext& ctx,
+                        const TraceParams& params) {
+    TraceParamReader reader("solar", params);
+    SolarConfig solar;
+    solar.days = 1.0;
+    solar.dt_s = ctx.dt_s;
+    solar.peak_power_mw = reader.positive("peak_power_mw", 0.08);
+    solar.sunrise_hour = reader.number("sunrise_hour", 6.0);
+    solar.sunset_hour = reader.number("sunset_hour", 18.0);
+    solar.envelope_exponent = reader.positive("envelope_exponent", 2.0);
+    solar.cloud_theta = reader.non_negative("cloud_theta", 0.02);
+    solar.cloud_sigma = reader.non_negative("cloud_sigma", 0.06);
+    solar.cloud_floor = reader.fraction("cloud_floor", 0.05);
+    const std::string window = reader.text("window", "daylight");
+    reader.done();
+
+    if (solar.sunrise_hour < 0.0 || solar.sunset_hour > 24.0 ||
+        solar.sunrise_hour >= solar.sunset_hour) {
+        reader.fail("needs 0 <= sunrise_hour < sunset_hour <= 24");
+    }
+    if (window == "daylight") {
+        // The paper evaluation schedules every event inside the harvesting
+        // day, so the trace covers sunrise..sunset compressed into the
+        // experiment duration.
+        solar.window_start_hour = solar.sunrise_hour;
+        solar.window_end_hour = solar.sunset_hour;
+    } else if (window == "full-day") {
+        solar.window_start_hour = 0.0;
+        solar.window_end_hour = 24.0;
+    } else {
+        reader.fail("parameter 'window' expects daylight or full-day, got '" +
+                    window + "'");
+    }
+    const double window_s =
+        (solar.window_end_hour - solar.window_start_hour) * 3600.0;
+    if (ctx.duration_s > window_s) {
+        reader.fail("duration " + std::to_string(ctx.duration_s) +
+                    " s exceeds the " + std::to_string(window_s) +
+                    " s harvesting window (the profile compresses wall-clock "
+                    "time, it never stretches it)");
+    }
+    solar.time_compression = window_s / ctx.duration_s;
+    solar.seed = ctx.seed;
+    return make_solar_trace(solar);
+}
+
+PowerTrace rf_bursty_source(const TraceSourceContext& ctx,
+                            const TraceParams& params) {
+    TraceParamReader reader("rf-bursty", params);
+    RfBurstyConfig rf;
+    rf.duration_s = ctx.duration_s;
+    rf.dt_s = ctx.dt_s;
+    rf.seed = ctx.seed;
+    rf.burst_power_mw = reader.positive("burst_power_mw", 0.5);
+    rf.idle_power_mw = reader.non_negative("idle_power_mw", 0.0);
+    rf.mean_on_s = reader.positive("mean_on_s", 3.0);
+    rf.mean_off_s = reader.positive("mean_off_s", 27.0);
+    rf.power_jitter = reader.non_negative("power_jitter", 0.25);
+    reader.done();
+    return make_rf_bursty_trace(rf);
+}
+
+PowerTrace ou_wind_source(const TraceSourceContext& ctx,
+                          const TraceParams& params) {
+    TraceParamReader reader("ou-wind", params);
+    OuDriftConfig ou;
+    ou.duration_s = ctx.duration_s;
+    ou.dt_s = ctx.dt_s;
+    ou.seed = ctx.seed;
+    ou.mean_power_mw = reader.positive("mean_power_mw", 0.03);
+    ou.reversion_rate = reader.positive("reversion_rate", 0.005);
+    ou.sigma = reader.non_negative("sigma", 0.004);
+    ou.floor_mw = reader.non_negative("floor_mw", 0.0);
+    reader.done();
+    if (ou.floor_mw > ou.mean_power_mw) {
+        reader.fail("floor_mw must not exceed mean_power_mw");
+    }
+    return make_ou_drift_trace(ou);
+}
+
+PowerTrace duty_cycle_source(const TraceSourceContext& ctx,
+                             const TraceParams& params) {
+    TraceParamReader reader("duty-cycle", params);
+    const double power_mw = reader.positive("power_mw", 0.1);
+    const double period_s = reader.positive("period_s", 60.0);
+    const double duty = reader.fraction("duty", 0.5);
+    reader.done();
+    if (duty <= 0.0) {
+        // duty = 0 would be an all-zero trace, which cannot be rescaled to
+        // any harvest budget.
+        reader.fail("duty must be > 0 (an all-off trace harvests nothing)");
+    }
+    return PowerTrace::square_wave(power_mw, period_s, duty, ctx.duration_s,
+                                   ctx.dt_s);
+}
+
+PowerTrace constant_source(const TraceSourceContext& ctx,
+                           const TraceParams& params) {
+    TraceParamReader reader("constant", params);
+    const double power_mw = reader.positive("power_mw", 0.02);
+    reader.done();
+    return PowerTrace::constant(power_mw, ctx.duration_s, ctx.dt_s);
+}
+
+PowerTrace csv_source(const TraceSourceContext& ctx,
+                      const TraceParams& params) {
+    (void)ctx;  // duration/dt/seed come from the file
+    TraceParamReader reader("csv", params);
+    const std::string path = reader.required_text("path");
+    reader.done();
+    try {
+        return PowerTrace::from_csv(path);
+    } catch (const std::invalid_argument&) {
+        throw;
+    } catch (const std::exception& e) {
+        reader.fail("cannot load '" + path + "': " + e.what());
+    }
+}
+
+/// The registry map. An ordered map so trace_source_names() is sorted
+/// without a separate pass. Built-ins are seeded on first use — no
+/// static-init-order or dead-translation-unit hazards.
+std::map<std::string, TraceSource>& registry_locked() {
+    static std::map<std::string, TraceSource> sources = [] {
+        std::map<std::string, TraceSource> builtins;
+        builtins["solar"] = {
+            solar_source,
+            "diurnal solar profile with OU cloud attenuation (paper setup)",
+            {"peak_power_mw", "sunrise_hour", "sunset_hour",
+             "envelope_exponent", "cloud_theta", "cloud_sigma", "cloud_floor",
+             "window"}};
+        builtins["rf-bursty"] = {
+            rf_bursty_source,
+            "Markov-modulated on/off RF / base-station bursts",
+            {"burst_power_mw", "idle_power_mw", "mean_on_s", "mean_off_s",
+             "power_jitter"}};
+        builtins["ou-wind"] = {
+            ou_wind_source,
+            "wind/thermal-style mean-reverting (OU) drift around a mean",
+            {"mean_power_mw", "reversion_rate", "sigma", "floor_mw"}};
+        builtins["duty-cycle"] = {
+            duty_cycle_source,
+            "deterministic square wave (duty-cycled charger)",
+            {"power_mw", "period_s", "duty"}};
+        builtins["constant"] = {constant_source,
+                                "flat income (no-variability control)",
+                                {"power_mw"}};
+        builtins["csv"] = {csv_source,
+                           "measured trace from a time_s,power_mw CSV file",
+                           {"path"},
+                           /*uses_context_duration=*/false};
+        return builtins;
+    }();
+    return sources;
+}
+
+[[noreturn]] void unknown_source(
+    const std::string& name,
+    const std::map<std::string, TraceSource>& sources) {
+    std::string known;
+    for (const auto& [key, unused] : sources) {
+        (void)unused;
+        if (!known.empty()) known += ", ";
+        known += key;
+    }
+    throw std::invalid_argument("unknown trace source '" + name +
+                                "' (registered: " + known + ")");
+}
+
+}  // namespace
+
+TraceParamReader::TraceParamReader(std::string source,
+                                   const TraceParams& params)
+    : source_(std::move(source)), params_(params) {}
+
+void TraceParamReader::fail(const std::string& message) const {
+    throw std::invalid_argument("trace source '" + source_ + "': " + message);
+}
+
+double TraceParamReader::parsed_number(const std::string& key,
+                                       double fallback) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+        fail("parameter '" + key + "' expects a number, got '" + it->second +
+             "'");
+    }
+    return value;
+}
+
+double TraceParamReader::number(const std::string& key, double fallback) {
+    return parsed_number(key, fallback);
+}
+
+double TraceParamReader::positive(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value > 0.0)) {
+        fail("parameter '" + key + "' must be > 0");
+    }
+    return value;
+}
+
+double TraceParamReader::non_negative(const std::string& key,
+                                      double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value >= 0.0)) {
+        fail("parameter '" + key + "' must be >= 0");
+    }
+    return value;
+}
+
+double TraceParamReader::fraction(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value >= 0.0 && value <= 1.0)) {
+        fail("parameter '" + key + "' must be in [0, 1]");
+    }
+    return value;
+}
+
+std::string TraceParamReader::text(const std::string& key,
+                                   const std::string& fallback) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    return it == params_.end() ? fallback : it->second;
+}
+
+std::string TraceParamReader::required_text(const std::string& key) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    if (it == params_.end() || it->second.empty()) {
+        fail("requires parameter '" + key + "'");
+    }
+    return it->second;
+}
+
+void TraceParamReader::done() const {
+    for (const auto& [key, value] : params_) {
+        (void)value;
+        if (accepted_.count(key)) continue;
+        std::string known;
+        for (const auto& accepted : accepted_) {
+            if (!known.empty()) known += ", ";
+            known += accepted;
+        }
+        fail("unknown parameter '" + key + "' (accepts: " + known + ")");
+    }
+}
+
+PowerTrace make_trace(const std::string& source,
+                      const TraceSourceContext& context,
+                      const TraceParams& params) {
+    IMX_EXPECTS(context.duration_s > 0.0);
+    IMX_EXPECTS(context.dt_s > 0.0);
+    TraceSourceFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex());
+        const auto& sources = registry_locked();
+        const auto it = sources.find(source);
+        if (it == sources.end()) unknown_source(source, sources);
+        factory = it->second.factory;
+    }
+    return factory(context, params);
+}
+
+void register_trace_source(const std::string& name,
+                           TraceSourceFactory factory,
+                           std::string description,
+                           std::vector<std::string> param_names,
+                           bool uses_context_duration) {
+    IMX_EXPECTS(!name.empty());
+    IMX_EXPECTS(factory != nullptr);
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry_locked()[name] = {std::move(factory), std::move(description),
+                               std::move(param_names),
+                               uses_context_duration};
+}
+
+bool has_trace_source(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    return registry_locked().count(name) > 0;
+}
+
+std::vector<std::string> trace_source_names() {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    std::vector<std::string> names;
+    for (const auto& [key, unused] : registry_locked()) {
+        (void)unused;
+        names.push_back(key);
+    }
+    return names;
+}
+
+std::string trace_source_description(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& sources = registry_locked();
+    const auto it = sources.find(name);
+    if (it == sources.end()) unknown_source(name, sources);
+    return it->second.description;
+}
+
+std::vector<std::string> trace_source_param_names(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& sources = registry_locked();
+    const auto it = sources.find(name);
+    if (it == sources.end()) unknown_source(name, sources);
+    auto names = it->second.param_names;
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool trace_source_uses_context_duration(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& sources = registry_locked();
+    const auto it = sources.find(name);
+    if (it == sources.end()) unknown_source(name, sources);
+    return it->second.uses_context_duration;
+}
+
+}  // namespace imx::energy

@@ -1,0 +1,157 @@
+// Name-based harvesting-source registry: string -> trace factory, so
+// benches, spec files, and tests can select harvesting environments without
+// compile-time wiring — the energy-side sibling of sim/policies/registry and
+// the exp experiment registry.
+//
+// Built-in sources (always registered; docs/energy-sources.md documents
+// every parameter with defaults):
+//  * "solar"      — the paper's RSR-style diurnal profile (energy/solar),
+//                   daylight-windowed and time-compressed exactly like the
+//                   canonical core::make_paper_setup() trace, so the default
+//                   parameter set is bitwise identical to it.
+//  * "rf-bursty"  — Markov-modulated on/off RF / base-station harvesting
+//                   (energy/rf): exponential burst and gap dwells, per-burst
+//                   amplitude jitter.
+//  * "ou-wind"    — wind/thermal-style mean-reverting drift (energy/ou):
+//                   an Ornstein-Uhlenbeck process clamped at a floor.
+//  * "duty-cycle" — deterministic piecewise square wave (period + duty),
+//                   the classic wireless-power-transfer duty-cycled charger.
+//  * "constant"   — flat income, the no-variability control.
+//  * "csv"        — measured trace from a time_s,power_mw CSV file
+//                   (PowerTrace::from_csv).
+//
+// Every source takes a validated key=value parameter map: unknown keys,
+// malformed numbers, and out-of-range values throw std::invalid_argument
+// naming the source, the parameter, and (for unknown keys) everything the
+// source accepts. Custom sources register at runtime through
+// register_trace_source(); see the worked example in docs/energy-sources.md.
+// The registry is mutex-guarded, so make_trace() is safe from sweep worker
+// threads.
+#ifndef IMX_ENERGY_TRACE_REGISTRY_HPP
+#define IMX_ENERGY_TRACE_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "energy/power_trace.hpp"
+
+namespace imx::energy {
+
+/// Source parameters as parsed text, e.g. {{"burst_power_mw", "0.6"}}.
+/// Values are validated by the source factory via TraceParamReader.
+using TraceParams = std::map<std::string, std::string>;
+
+/// What every source receives besides its own parameters: the requested
+/// trace length and grid, and the deterministic seed (stochastic sources
+/// only). File-backed sources may return a different duration (the file's).
+struct TraceSourceContext {
+    double duration_s = 13000.0;
+    double dt_s = 1.0;
+    std::uint64_t seed = 7;
+};
+
+/// \brief Factory signature: build the trace for one context + parameter
+/// map. Must validate `params` (reject unknown keys / bad values) with
+/// std::invalid_argument — TraceParamReader does both bookkeeping parts.
+using TraceSourceFactory =
+    std::function<PowerTrace(const TraceSourceContext&, const TraceParams&)>;
+
+/// \brief Typed, validating view over a TraceParams map.
+///
+/// Each getter consumes one key (returning the fallback when absent) and
+/// records it as accepted; done() then rejects any key the factory never
+/// asked for, listing everything the source accepts. All errors are
+/// std::invalid_argument prefixed "trace source '<name>':".
+///
+///     TraceParamReader reader("rf-bursty", params);
+///     cfg.burst_power_mw = reader.positive("burst_power_mw", 0.5);
+///     cfg.mean_on_s = reader.positive("mean_on_s", 3.0);
+///     reader.done();
+class TraceParamReader {
+public:
+    TraceParamReader(std::string source, const TraceParams& params);
+
+    /// Any finite number.
+    double number(const std::string& key, double fallback);
+    /// A number > 0.
+    double positive(const std::string& key, double fallback);
+    /// A number >= 0.
+    double non_negative(const std::string& key, double fallback);
+    /// A number in [0, 1].
+    double fraction(const std::string& key, double fallback);
+    /// Free text (returned verbatim).
+    std::string text(const std::string& key, const std::string& fallback);
+    /// Free text that must be present and non-empty.
+    std::string required_text(const std::string& key);
+
+    /// Reject every key no getter consumed. Call after the last getter.
+    void done() const;
+
+    /// Throw a source-prefixed std::invalid_argument (for cross-parameter
+    /// checks like sunrise_hour < sunset_hour).
+    [[noreturn]] void fail(const std::string& message) const;
+
+private:
+    double parsed_number(const std::string& key, double fallback);
+
+    std::string source_;
+    const TraceParams& params_;
+    std::set<std::string> accepted_;
+};
+
+/// \brief Build a harvesting trace from a registered source.
+/// \param source a built-in or register_trace_source()'d name.
+/// \param context trace length/grid/seed.
+/// \param params source parameters; unknown keys or bad values throw.
+/// \throws std::invalid_argument for unknown sources (the message lists
+///   every registered name) and for parameter-map violations.
+PowerTrace make_trace(const std::string& source,
+                      const TraceSourceContext& context = {},
+                      const TraceParams& params = {});
+
+/// \brief Register (or replace) a named trace source.
+/// \param name the registry key; must be non-empty.
+/// \param factory invoked by make_trace().
+/// \param description one-liner for listings (imx_sweep --list).
+/// \param param_names the parameter keys the source accepts; consumers
+///   (e.g. the spec parser) use it to reject unknown keys early with
+///   file:line diagnostics. Empty = accept any key at name-check time and
+///   rely on the factory's own validation.
+/// \param uses_context_duration whether the source honours
+///   TraceSourceContext::duration_s (every generator) or determines its own
+///   length (file-backed sources like "csv"). Quick-mode shrinking only
+///   rescales the harvest budget of sources that honour the context
+///   duration — scaling a fixed-length replay would starve it instead of
+///   shortening it.
+void register_trace_source(const std::string& name,
+                           TraceSourceFactory factory,
+                           std::string description = "",
+                           std::vector<std::string> param_names = {},
+                           bool uses_context_duration = true);
+
+/// \brief Whether `name` is currently registered.
+[[nodiscard]] bool has_trace_source(const std::string& name);
+
+/// \brief Every registered name, sorted (built-ins plus custom ones).
+[[nodiscard]] std::vector<std::string> trace_source_names();
+
+/// \brief One-line description of a registered source.
+[[nodiscard]] std::string trace_source_description(const std::string& name);
+
+/// \brief The parameter keys a source declared at registration (sorted);
+/// empty for sources registered without a key list.
+[[nodiscard]] std::vector<std::string> trace_source_param_names(
+    const std::string& name);
+
+/// \brief Whether the source honours TraceSourceContext::duration_s (see
+/// register_trace_source); false for file-backed sources like "csv".
+[[nodiscard]] bool trace_source_uses_context_duration(
+    const std::string& name);
+
+}  // namespace imx::energy
+
+#endif  // IMX_ENERGY_TRACE_REGISTRY_HPP

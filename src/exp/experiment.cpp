@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "energy/trace_registry.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/experiments_builtin.hpp"
 #include "exp/report.hpp"
@@ -69,9 +70,13 @@ SystemKind parse_system_kind(const std::string& kind) {
 core::SetupConfig quick_setup_config(core::SetupConfig config) {
     // Shrink only: a spec-file trace already below the smoke-run scale must
     // not be inflated (stretching it to 4000 s would *add* harvest energy
-    // and events, making --quick heavier than the full run).
+    // and events, making --quick heavier than the full run). File-backed
+    // sources (csv) take their length from the file, not duration_s:
+    // scaling their harvest budget would starve the same-length replay
+    // instead of shortening it, so quick mode only caps their schedule.
     const double quick_duration_s = 4000.0;
-    if (config.duration_s > quick_duration_s) {
+    if (energy::trace_source_uses_context_duration(config.trace_source) &&
+        config.duration_s > quick_duration_s) {
         config.total_harvest_mj *= quick_duration_s / config.duration_s;
         config.duration_s = quick_duration_s;
     }

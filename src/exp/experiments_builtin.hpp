@@ -17,8 +17,8 @@ namespace imx::exp::detail {
 /// the Sec. V-D latency table.
 void register_fig_experiments(std::map<std::string, ExperimentFactory>& into);
 
-/// The ablations: runtime, search, trace, storage-deadline,
-/// deadline-policy.
+/// The ablations: harvester (trace-registry sources), runtime, search,
+/// trace, storage-deadline, deadline-policy.
 void register_ablation_experiments(
     std::map<std::string, ExperimentFactory>& into);
 

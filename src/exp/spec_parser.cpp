@@ -1,12 +1,15 @@
 #include "exp/spec_parser.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
+#include "energy/trace_registry.hpp"
 #include "util/kvfile.hpp"
 
 namespace imx::exp {
@@ -145,12 +148,54 @@ void apply_sweep(const std::string& origin, const util::KvSection& section,
     }
 }
 
+std::string join_names(const std::vector<std::string>& names) {
+    std::string joined;
+    for (const auto& name : names) {
+        if (!joined.empty()) joined += ", ";
+        joined += name;
+    }
+    return joined;
+}
+
+/// Parse a `[trace]` or `[trace.<label>]` section. The labeled form takes
+/// its label from the header and additionally accepts `source = <name>`
+/// (an energy trace-registry source) plus that source's own parameters;
+/// both forms share the SetupConfig keys. `spec_dir` (empty = unknown)
+/// anchors a relative file `path` parameter to the spec file's directory.
 TraceEntry parse_trace(const std::string& origin,
-                       const util::KvSection& section) {
+                       const util::KvSection& section,
+                       const std::string& spec_dir) {
     TraceEntry trace;
+    const bool labeled_header = section.name != "trace";
+    if (labeled_header) {
+        trace.label = section.name.substr(std::string("trace.").size());
+        if (trace.label.empty()) {
+            fail(origin, section.line,
+                 "[trace.] requires a label after the dot");
+        }
+    } else {
+        trace.label.clear();
+    }
+    std::vector<const util::KvEntry*> param_entries;
     for (const auto& entry : section.entries) {
         if (entry.key == "label") {
+            if (labeled_header) {
+                fail(origin, entry.line,
+                     "[" + section.name +
+                         "] takes its label from the section header");
+            }
             trace.label = entry.value;
+        } else if (entry.key == "source") {
+            if (!energy::has_trace_source(entry.value)) {
+                // Reuse the registry's own diagnostic (it lists every
+                // registered source) instead of duplicating the format.
+                try {
+                    (void)energy::trace_source_description(entry.value);
+                } catch (const std::invalid_argument& e) {
+                    fail(origin, entry.line, e.what());
+                }
+            }
+            trace.config.trace_source = entry.value;
         } else if (entry.key == "duration_s") {
             trace.config.duration_s = parse_double(origin, entry, entry.value);
             if (!(trace.config.duration_s > 0.0)) {
@@ -174,11 +219,69 @@ TraceEntry parse_trace(const std::string& origin,
         } else if (entry.key == "arrivals") {
             trace.config.arrivals = parse_arrivals(origin, entry);
         } else {
-            unknown_key(origin, "trace", entry);
+            // Candidate source parameter; validated against the source's
+            // declared key list (and by a trial build) below, once the
+            // whole section — including a later `source =` line — is read.
+            param_entries.push_back(&entry);
+            trace.config.trace_params[entry.key] = entry.value;
         }
     }
     if (trace.label.empty()) {
         fail(origin, section.line, "[trace] requires a non-empty 'label'");
+    }
+
+    // Unknown keys are hard errors at their own line: a key must be either
+    // a trace key or a declared parameter of the section's source.
+    const auto known_params =
+        energy::trace_source_param_names(trace.config.trace_source);
+    if (!known_params.empty()) {
+        for (const auto* entry : param_entries) {
+            if (std::find(known_params.begin(), known_params.end(),
+                          entry->key) != known_params.end()) {
+                continue;
+            }
+            fail(origin, entry->line,
+                 "unknown key '" + entry->key + "' in [" + section.name +
+                     "] (neither a trace key nor a parameter of source '" +
+                     trace.config.trace_source +
+                     "', which accepts: " + join_names(known_params) + ")");
+        }
+    }
+
+    // A relative file `path` resolves against the spec file's directory,
+    // so `imx_sweep --spec` works from any CWD (CI runs from build/).
+    const auto path_param = trace.config.trace_params.find("path");
+    if (path_param != trace.config.trace_params.end() && !spec_dir.empty() &&
+        !path_param->second.empty() && path_param->second.front() != '/') {
+        path_param->second = spec_dir + "/" + path_param->second;
+    }
+
+    // Trial-build the trace with the section's real context so parameter
+    // values (and, for file sources, the file itself) fail here with a
+    // file:line diagnostic instead of deep inside the sweep expansion.
+    double trial_energy_mj = 0.0;
+    double trial_duration_s = 0.0;
+    try {
+        const auto trial = energy::make_trace(
+            trace.config.trace_source,
+            energy::TraceSourceContext{trace.config.duration_s, 1.0,
+                                       trace.config.trace_seed},
+            trace.config.trace_params);
+        trial_energy_mj = trial.total_energy();
+        trial_duration_s = trial.duration();
+    } catch (const std::exception& e) {
+        fail(origin, section.line, e.what());
+    }
+    // make_paper_setup rescales every trace to the harvest budget; an
+    // all-zero trace (e.g. an rf gap longer than the duration, or a
+    // zero-power csv) cannot be rescaled and would otherwise abort
+    // mid-sweep with a contextless contract violation.
+    if (!(trial_energy_mj > 0.0)) {
+        fail(origin, section.line,
+             "trace source '" + trace.config.trace_source +
+                 "' harvests no energy over " +
+                 std::to_string(trial_duration_s) +
+                 " s — it cannot be rescaled to the sweep's harvest budget");
     }
     return trace;
 }
@@ -235,6 +338,13 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
                                      const std::string& origin) {
     const auto sections = util::parse_kv_text(text, origin);
 
+    // Directory of the spec file, used to anchor relative file parameters
+    // (e.g. a csv trace's `path`). A pathless origin ("<string>") leaves
+    // them CWD-relative.
+    const auto slash = origin.find_last_of('/');
+    const std::string spec_dir =
+        slash == std::string::npos ? "" : origin.substr(0, slash);
+
     // Every schema key is single-valued; a repeated key would silently
     // last-win (e.g. a split patch axis running half its grid), so it is a
     // hard error like every other spec mistake.
@@ -261,8 +371,9 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
             }
             saw_sweep = true;
             apply_sweep(origin, section, spec);
-        } else if (section.name == "trace") {
-            spec.traces.push_back(parse_trace(origin, section));
+        } else if (section.name == "trace" ||
+                   section.name.rfind("trace.", 0) == 0) {
+            spec.traces.push_back(parse_trace(origin, section, spec_dir));
         } else if (section.name == "system") {
             const SystemEntry system = parse_system(origin, section);
             for (const auto& existing : spec.systems) {
@@ -302,8 +413,8 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
         } else {
             fail(origin, section.line,
                  "unknown section [" + section.name +
-                     "] (expected sweep, trace, system, patch.storage, "
-                     "patch.deadline, patch.policy)");
+                     "] (expected sweep, trace, trace.<label>, system, "
+                     "patch.storage, patch.deadline, patch.policy)");
         }
     }
     if (!saw_sweep) {

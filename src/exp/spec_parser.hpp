@@ -23,6 +23,15 @@
 ///     event_seed = 99
 ///     arrivals = uniform       # uniform | poisson | bursty
 ///
+///     [trace.rf-lab]           # label from the header; same keys as
+///     source = rf-bursty       # [trace] plus a harvesting source from the
+///     burst_power_mw = 0.6     # energy trace registry (solar | rf-bursty |
+///     mean_off_s = 18          # ou-wind | duty-cycle | constant | csv) and
+///                              # that source's parameters
+///                              # (docs/energy-sources.md). A brand-new
+///                              # harvesting environment is spec authoring,
+///                              # not C++ work.
+///
 ///     [system]                 # at least once
 ///     label = ours
 ///     kind = ours-policy       # ours-qlearning | ours-static | ours-policy

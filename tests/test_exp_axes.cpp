@@ -18,6 +18,7 @@
 #include "core/runtime.hpp"
 #include "core/search.hpp"
 #include "core/trace_eval.hpp"
+#include "energy/solar.hpp"
 #include "exp/paper_scenarios.hpp"
 #include "exp/runner.hpp"
 #include "sim/policies/greedy.hpp"
@@ -269,6 +270,52 @@ TEST(DeadlineAxis, SweepEmitsDeadlineMissMetricPerCell) {
     EXPECT_GE(tight, 0.0);
     EXPECT_LE(tight, 100.0);
     EXPECT_DOUBLE_EQ(outcomes[1].metrics.at("deadline_miss_pct"), 0.0);
+}
+
+// --- Trace-registry golden stability --------------------------------------
+
+TEST(TraceRegistryAxis, SolarReplicaZeroIsBitwiseStableAcrossTheRegistry) {
+    // Label resolution for "paper-solar" grids now goes through the energy
+    // trace registry; the replica-0 scenario output must stay bitwise
+    // identical to a hand-rolled run over the legacy hard-coded solar trace
+    // (reconstructed inline here, exactly as make_paper_setup used to).
+    const auto config = mini_config();
+    exp::PaperSweep sweep;
+    sweep.traces = {{"paper-solar", config}};
+    sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}, ""}};
+    const auto specs = exp::build_paper_scenarios(sweep);
+    ASSERT_EQ(specs.size(), 1u);
+    const auto outcomes = exp::run_sweep(specs, {2});
+
+    energy::SolarConfig solar;
+    solar.days = 1.0;
+    solar.dt_s = 1.0;
+    solar.peak_power_mw = 0.08;
+    solar.window_start_hour = solar.sunrise_hour;
+    solar.window_end_hour = solar.sunset_hour;
+    solar.envelope_exponent = 2.0;
+    solar.time_compression =
+        (solar.window_end_hour - solar.window_start_hour) * 3600.0 /
+        config.duration_s;
+    solar.seed = config.trace_seed;
+    energy::PowerTrace legacy_trace = energy::make_solar_trace(solar);
+    legacy_trace.rescale_total_energy(config.total_harvest_mj);
+
+    auto setup = core::make_paper_setup(config);
+    setup.trace = legacy_trace;
+    core::OracleInferenceModel model(setup.network, setup.deployed_policy,
+                                     setup.exit_accuracy);
+    sim::GreedyAffordablePolicy policy;
+    sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
+    const auto direct = simulator.run(setup.events, model, policy);
+
+    EXPECT_EQ(outcomes[0].metrics.at("iepmj"), direct.iepmj());
+    EXPECT_EQ(outcomes[0].metrics.at("acc_all_pct"),
+              100.0 * direct.accuracy_all_events());
+    EXPECT_EQ(outcomes[0].metrics.at("processed"),
+              static_cast<double>(direct.processed_count()));
+    EXPECT_EQ(outcomes[0].metrics.at("consumed_mj"),
+              direct.total_consumed_mj());
 }
 
 // --- Replica-0 equivalence of the newly ported bench scenarios ------------

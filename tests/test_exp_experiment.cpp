@@ -72,7 +72,7 @@ TEST(ExperimentRegistry, BuiltInsAreRegistered) {
           "fig6-flops", "fig7a-runtime-learning", "fig7b-exit-distribution",
           "latency-table", "ablation-runtime", "ablation-search",
           "ablation-trace", "ablation-storage-deadline",
-          "ablation-deadline-policy"}) {
+          "ablation-deadline-policy", "harvester-ablation"}) {
         EXPECT_TRUE(set.count(name)) << name;
         EXPECT_TRUE(exp::has_experiment(name)) << name;
         EXPECT_FALSE(exp::experiment_description(name).empty()) << name;
@@ -167,8 +167,6 @@ TEST(SpecRoundTrip, BurstySlackGridParsesAndExpands) {
     EXPECT_EQ(specs[0].dims.at("deadline_s"), "45");
 }
 
-// --- malformed specs ------------------------------------------------------
-
 std::string valid_spec() {
     return "[sweep]\n"
            "name = t\n"
@@ -186,6 +184,113 @@ void expect_parse_error(const std::string& text, const std::string& needle) {
             << e.what();
     }
 }
+
+TEST(SpecRoundTrip, HarvesterAblationMatchesRegisteredExperiment) {
+    const auto spec = exp::load_experiment_spec(std::string(IMX_SPEC_DIR) +
+                                                "/harvester_ablation.ini");
+    EXPECT_EQ(spec.name, "harvester-ablation");
+    ASSERT_EQ(spec.traces.size(), 4u);
+    EXPECT_EQ(spec.traces[1].label, "rf-bursty");
+    EXPECT_EQ(spec.traces[1].config.trace_source, "rf-bursty");
+    EXPECT_EQ(spec.traces[1].config.trace_params.at("burst_power_mw"), "0.6");
+    EXPECT_EQ(spec.traces[2].config.trace_source, "ou-wind");
+
+    for (const bool quick : {false, true}) {
+        exp::SweepCli cli;
+        cli.quick = quick;
+        cli.replicas = 2;
+        cli.replicas_given = true;
+        expect_same_grid(exp::expand_experiment(spec, cli),
+                         exp::build_experiment_scenarios(
+                             exp::make_experiment("harvester-ablation"), cli));
+    }
+}
+
+TEST(SpecRoundTrip, CsvDemoResolvesThePathAgainstTheSpecDirectory) {
+    const auto spec = exp::load_experiment_spec(std::string(IMX_SPEC_DIR) +
+                                                "/csv_trace_demo.ini");
+    ASSERT_EQ(spec.traces.size(), 1u);
+    EXPECT_EQ(spec.traces[0].config.trace_source, "csv");
+    EXPECT_EQ(spec.traces[0].config.trace_params.at("path"),
+              std::string(IMX_SPEC_DIR) + "/office_rf.csv");
+    // The grid expands (and therefore loads the csv) without error.
+    const auto specs = exp::expand_experiment(spec, {});
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].id, "office-rf/learned Q#0");
+}
+
+// --- [trace.<label>] sections ---------------------------------------------
+
+TEST(TraceSections, LabeledHeaderCarriesSourceAndParams) {
+    const auto spec = exp::parse_experiment_spec(
+        valid_spec() +
+        "[trace.rf-lab]\nsource = rf-bursty\nburst_power_mw = 0.7\n"
+        "event_seed = 321\narrivals = bursty\n");
+    ASSERT_EQ(spec.traces.size(), 1u);
+    EXPECT_EQ(spec.traces[0].label, "rf-lab");
+    EXPECT_EQ(spec.traces[0].config.trace_source, "rf-bursty");
+    EXPECT_EQ(spec.traces[0].config.trace_params.at("burst_power_mw"), "0.7");
+    // Trace keys stay trace keys — they never leak into the param map.
+    EXPECT_EQ(spec.traces[0].config.trace_params.count("event_seed"), 0u);
+    EXPECT_EQ(spec.traces[0].config.event_seed, 321u);
+    EXPECT_EQ(spec.traces[0].config.arrivals, sim::ArrivalKind::kBursty);
+
+    // Default source: solar with its canonical parameters.
+    const auto plain =
+        exp::parse_experiment_spec(valid_spec() + "[trace.quiet]\n");
+    EXPECT_EQ(plain.traces[0].label, "quiet");
+    EXPECT_EQ(plain.traces[0].config.trace_source, "solar");
+    EXPECT_TRUE(plain.traces[0].config.trace_params.empty());
+}
+
+TEST(TraceSections, RejectSchemaMistakesWithFileLineDiagnostics) {
+    // Unknown source, at the key's line.
+    expect_parse_error(valid_spec() + "[trace.x]\nsource = nuclear\n",
+                       "unknown trace source 'nuclear'");
+    // Unknown key: neither a trace key nor a source parameter.
+    expect_parse_error(
+        valid_spec() + "[trace.x]\nsource = rf-bursty\nburst_pwr = 1\n",
+        "spec.ini:8: unknown key 'burst_pwr'");
+    // ... even when the source line comes after the bad key.
+    expect_parse_error(
+        valid_spec() + "[trace.x]\nburst_pwr = 1\nsource = rf-bursty\n",
+        "unknown key 'burst_pwr'");
+    // The labeled form owns its label.
+    expect_parse_error(valid_spec() + "[trace.x]\nlabel = y\n",
+                       "takes its label from the section header");
+    expect_parse_error(valid_spec() + "[trace.]\nsource = solar\n",
+                       "requires a label after the dot");
+    // Bad parameter values fail at parse time, not mid-sweep.
+    expect_parse_error(
+        valid_spec() + "[trace.x]\nsource = rf-bursty\nburst_power_mw = -2\n",
+        "must be > 0");
+    expect_parse_error(valid_spec() + "[trace.x]\nsource = csv\n",
+                       "requires parameter 'path'");
+    expect_parse_error(
+        valid_spec() + "[trace.x]\nsource = csv\npath = /no/such.csv\n",
+        "cannot load");
+    // A solar window shorter than the requested duration is impossible.
+    expect_parse_error(valid_spec() +
+                           "[trace.x]\nsource = solar\nduration_s = 50000\n",
+                       "exceeds");
+    // An all-zero trace cannot be rescaled to the harvest budget; this
+    // must fail at parse time, not as a mid-sweep contract violation.
+    expect_parse_error(valid_spec() + "[trace.x]\nsource = rf-bursty\n"
+                                      "mean_off_s = 9000000\n",
+                       "harvests no energy");
+}
+
+TEST(TraceSections, MixedPlainAndLabeledTracesExpandTogether) {
+    const auto spec = exp::parse_experiment_spec(
+        valid_spec() + "[trace]\nlabel = solar-control\n"
+                       "[trace.windy]\nsource = ou-wind\nsigma = 0.002\n");
+    const auto specs = exp::expand_experiment(spec, {});
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].id, "solar-control/s#0");
+    EXPECT_EQ(specs[1].id, "windy/s#0");
+}
+
+// --- malformed specs ------------------------------------------------------
 
 TEST(SpecParser, AcceptsTheMinimalSpec) {
     const auto spec = exp::parse_experiment_spec(valid_spec());
@@ -363,6 +468,18 @@ TEST(QuickMode, ShrinksTracesAndEpisodesLikeTheHistoricalBenches) {
     EXPECT_DOUBLE_EQ(tiny_quick.duration_s, 1000.0);
     EXPECT_EQ(tiny_quick.event_count, 50);
     EXPECT_DOUBLE_EQ(tiny_quick.total_harvest_mj, 20.0);
+
+    // File-backed sources keep their physics: a csv trace's length comes
+    // from the file, not duration_s, so quick mode must not scale the
+    // harvest budget (that would starve a same-length replay); only the
+    // event cap applies.
+    core::SetupConfig csv_cfg;
+    csv_cfg.trace_source = "csv";
+    csv_cfg.trace_params = {{"path", "some_trace.csv"}};
+    const auto csv_quick = exp::quick_setup_config(csv_cfg);
+    EXPECT_DOUBLE_EQ(csv_quick.duration_s, csv_cfg.duration_s);
+    EXPECT_DOUBLE_EQ(csv_quick.total_harvest_mj, csv_cfg.total_harvest_mj);
+    EXPECT_EQ(csv_quick.event_count, 150);
 
     exp::SweepCli cli;
     EXPECT_EQ(exp::sweep_episodes(cli, 16), 16);
