@@ -6,9 +6,15 @@
 //        imx_sweep --spec FILE [options]       run a spec-file experiment
 //        imx_sweep --list                      list registered experiments
 // Options: [--quick] [--replicas N] [--threads N] [--csv PATH]
-//          [--base-seed N] [--dry-run]
+//          [--base-seed N] [--shard i/N] [--journal PATH] [--resume]
+//          [--merge PATH]... [--dry-run]
 // --dry-run prints the expanded scenario grid (id, seed, dims) without
-// executing anything — CI uses it to validate every shipped spec cheaply.
+// executing anything — CI uses it to validate every shipped spec cheaply;
+// with --shard it prints only that shard's slice. --shard/--journal/
+// --resume/--merge split a grid across processes and fold the per-shard
+// journals back into the exact single-process aggregate output
+// (docs/experiments.md, "Sharding, journals, and exact merge").
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -31,7 +37,8 @@ constexpr const char* kUsage =
     "       imx_sweep --spec FILE [options] run a spec-file experiment\n"
     "       imx_sweep --list                list registered experiments\n"
     "options: [--quick] [--replicas N] [--threads N] [--csv PATH]\n"
-    "         [--base-seed N] [--dry-run]\n";
+    "         [--base-seed N] [--shard i/N] [--journal PATH] [--resume]\n"
+    "         [--merge PATH]... [--dry-run]\n";
 
 int list_experiments() {
     std::printf("registered experiments:\n");
@@ -47,7 +54,10 @@ int list_experiments() {
     }
     std::printf(
         "\nrun one with `imx_sweep <name>`, or declare your own grid in a "
-        "spec file (docs/experiments.md) and run `imx_sweep --spec FILE`.\n");
+        "spec file (docs/experiments.md) and run `imx_sweep --spec FILE`.\n"
+        "every grid shards deterministically: `--shard i/N --journal PATH` "
+        "per slice,\nthen `--merge PATH...` folds the journals into the "
+        "exact single-process output.\n");
     return 0;
 }
 
@@ -101,8 +111,17 @@ int main(int argc, char** argv) {
             experiment = exp::make_experiment(name);
         }
         if (dry_run) {
-            const auto specs =
-                exp::build_experiment_scenarios(experiment, options);
+            auto specs = exp::build_experiment_scenarios(experiment, options);
+            if (options.shard_given) {
+                // Show exactly what this shard would run, so the printed
+                // scenario count matches the sharded execution.
+                std::vector<exp::ScenarioSpec> slice;
+                for (const std::size_t i :
+                     exp::shard_indices(specs.size(), options.shard)) {
+                    slice.push_back(std::move(specs[i]));
+                }
+                specs = std::move(slice);
+            }
             exp::print_scenario_grid(specs, std::cout);
             return 0;
         }

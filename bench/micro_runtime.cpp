@@ -7,7 +7,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "core/search.hpp"
 #include "core/trace_eval.hpp"
 #include "rl/ddpg.hpp"
@@ -20,7 +20,7 @@ using namespace imx;
 
 void BM_QLearningSelectAndUpdate(benchmark::State& state) {
     // The paper's claim: runtime selection is a LUT lookup plus an update.
-    core::QLearningExitPolicy policy(3, core::RuntimeConfig{});
+    sim::QLearningExitPolicy policy(3, sim::RuntimeConfig{});
     const auto setup_once = [] {
         sim::EnergyState s;
         s.level_mj = 2.0;

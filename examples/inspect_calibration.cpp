@@ -10,7 +10,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "sim/policies/greedy.hpp"
 #include "sim/simulator.hpp"
 
@@ -87,7 +87,7 @@ int main() {
     // Ours, Q-learning (10 learning episodes, then eval).
     {
         core::OracleInferenceModel model(desc, ref, setup.exit_accuracy);
-        core::QLearningExitPolicy policy(3, core::RuntimeConfig{});
+        sim::QLearningExitPolicy policy(3, sim::RuntimeConfig{});
         auto s = setup.make_multi_exit_simulator();
         for (int ep = 0; ep < 16; ++ep) {
             core::SetupConfig ec;

@@ -11,7 +11,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "sim/simulator.hpp"
 
 using namespace imx;
@@ -33,7 +33,7 @@ int main() {
     const core::ExperimentSetup setup = core::make_paper_setup();
     core::OracleInferenceModel deployed(network, policy,
                                         oracle.exit_accuracy(policy));
-    core::QLearningExitPolicy runtime(network.num_exits, core::RuntimeConfig{});
+    sim::QLearningExitPolicy runtime(network.num_exits, sim::RuntimeConfig{});
     sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
 
     // Learn for a few episodes, then evaluate greedily.

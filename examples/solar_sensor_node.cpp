@@ -10,7 +10,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 
@@ -20,7 +20,7 @@ int main() {
     const auto setup = core::make_paper_setup();
     core::OracleInferenceModel model(setup.network, setup.deployed_policy,
                                      setup.exit_accuracy);
-    core::QLearningExitPolicy policy(3, core::RuntimeConfig{});
+    sim::QLearningExitPolicy policy(3, sim::RuntimeConfig{});
 
     sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
     // Warm up the runtime policy on a few prior "days".

@@ -55,6 +55,12 @@ run_case "latency-table (--quick --replicas 2)" \
          latency-table --quick --replicas 2
 run_case "harvester_ablation.ini (--quick)" \
          --spec "$SPEC_DIR/harvester_ablation.ini" --quick
+# Shard mode: same grid, half the specs, journal streaming on — tracks the
+# per-shard overhead of shard selection + journaling against the unsharded
+# trend line above.
+run_case "fig5-iepmj shard 0/2 (--quick --replicas 2 --shard 0/2 --journal)" \
+         fig5-iepmj --quick --replicas 2 --shard 0/2 \
+         --journal "$BUILD_DIR/perf_shard0.jsonl"
 
 printf '{\n  "bench": "imx_sweep perf smoke",\n  "commit": "%s",\n  "results": [%s\n  ]\n}\n' \
        "$commit" "$entries" > "$OUT"

@@ -54,7 +54,8 @@ PipelineReport run_pipeline(const PipelineConfig& config) {
     {
         OracleInferenceModel model(setup.network, report.deployed_policy,
                                    report.exit_accuracy);
-        QLearningExitPolicy policy(setup.network.num_exits, config.runtime);
+        sim::QLearningExitPolicy policy(setup.network.num_exits,
+                                        config.runtime);
         for (int ep = 0; ep < config.learning_episodes; ++ep) {
             const auto events = sim::generate_events(
                 {static_cast<int>(setup.events.size()), setup.trace.duration(),

@@ -10,9 +10,9 @@
 
 #include "compress/policy.hpp"
 #include "core/experiment_setup.hpp"
-#include "core/runtime.hpp"
 #include "core/search.hpp"
 #include "sim/metrics.hpp"
+#include "sim/policies/qlearning.hpp"
 
 namespace imx::core {
 
@@ -22,7 +22,7 @@ struct PipelineConfig {
     /// otherwise deploy the Fig. 4-shaped reference policy.
     bool run_search = false;
     SearchConfig search{};
-    RuntimeConfig runtime{};
+    sim::RuntimeConfig runtime{};
     int learning_episodes = 16;
 };
 

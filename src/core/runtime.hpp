@@ -1,9 +1,15 @@
 /// \file
-/// \brief Compatibility aliases for the Q-learning exit runtime, which now
-/// lives in the policy zoo (sim/policies/qlearning.hpp) so the registry in
-/// sim/policies/registry.hpp can construct it by name. Existing call sites
-/// keep using `core::RuntimeConfig` / `core::QLearningExitPolicy`; new code
-/// should include sim/policies/qlearning.hpp directly.
+/// \brief Deprecated compatibility aliases for the Q-learning exit runtime,
+/// which lives in the policy zoo (sim/policies/qlearning.hpp) so the
+/// registry in sim/policies/registry.hpp can construct it by name.
+///
+/// Nothing in this repository includes this header anymore — every internal
+/// call site names `sim::RuntimeConfig` / `sim::QLearningExitPolicy`
+/// directly. The aliases are kept solely so out-of-tree code written
+/// against the original `core::` spellings keeps compiling; they are thin
+/// `using` declarations (same types, not copies), so the two spellings are
+/// freely interchangeable during a gradual migration. New code should
+/// include sim/policies/qlearning.hpp and use the `sim::` names.
 #ifndef IMX_CORE_RUNTIME_HPP
 #define IMX_CORE_RUNTIME_HPP
 

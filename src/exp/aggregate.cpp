@@ -2,44 +2,36 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
-#include "util/stats.hpp"
 
 namespace imx::exp {
 
-std::vector<GroupAggregate> aggregate(
-    const std::vector<ScenarioSpec>& specs,
-    const std::vector<ScenarioOutcome>& outcomes) {
-    IMX_EXPECTS(specs.size() == outcomes.size());
-
-    // First pass: group membership in first-appearance order, accumulating
-    // per-metric Welford stats in spec index order (deterministic).
-    std::vector<GroupAggregate> groups;
-    std::map<std::string, std::size_t> group_index;
-    std::vector<std::map<std::string, util::RunningStats>> accumulators;
-
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const auto& spec = specs[i];
-        auto it = group_index.find(spec.group);
-        if (it == group_index.end()) {
-            it = group_index.emplace(spec.group, groups.size()).first;
-            GroupAggregate g;
-            g.group = spec.group;
-            g.dims = spec.dims;
-            groups.push_back(std::move(g));
-            accumulators.emplace_back();
-        }
-        const std::size_t gi = it->second;
-        groups[gi].replicas += 1;
-        for (const auto& [name, value] : outcomes[i].metrics) {
-            accumulators[gi][name].add(value);
-        }
+void GroupAggregator::add(const ScenarioSpec& spec,
+                          const ScenarioOutcome& outcome) {
+    auto it = group_index_.find(spec.group);
+    if (it == group_index_.end()) {
+        it = group_index_.emplace(spec.group, groups_.size()).first;
+        GroupAggregate g;
+        g.group = spec.group;
+        g.dims = spec.dims;
+        groups_.push_back(std::move(g));
+        accumulators_.emplace_back();
     }
+    const std::size_t gi = it->second;
+    groups_[gi].replicas += 1;
+    for (const auto& [name, value] : outcome.metrics) {
+        accumulators_[gi][name].add(value);
+    }
+}
 
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-        for (const auto& [name, acc] : accumulators[gi]) {
+std::vector<GroupAggregate> GroupAggregator::groups() const {
+    std::vector<GroupAggregate> out = groups_;
+    for (std::size_t gi = 0; gi < out.size(); ++gi) {
+        out[gi].metrics.clear();
+        for (const auto& [name, acc] : accumulators_[gi]) {
             MetricStats stats;
             stats.count = acc.count();
             stats.mean = acc.mean();
@@ -51,10 +43,42 @@ std::vector<GroupAggregate> aggregate(
                     : 0.0;
             stats.min = acc.min();
             stats.max = acc.max();
-            groups[gi].metrics.emplace(name, stats);
+            out[gi].metrics.emplace(name, stats);
         }
     }
-    return groups;
+    return out;
+}
+
+AggregateSink::AggregateSink(const std::vector<ScenarioSpec>& specs)
+    : specs_(specs) {}
+
+void AggregateSink::on_outcome(std::size_t spec_index,
+                               ScenarioOutcome outcome) {
+    IMX_EXPECTS(spec_index < specs_.size());
+    aggregator_.add(specs_[spec_index], outcome);
+}
+
+void AggregateSink::finish() {
+    groups_ = aggregator_.groups();
+    finished_ = true;
+}
+
+const std::vector<GroupAggregate>& AggregateSink::groups() const {
+    IMX_EXPECTS(finished_);
+    return groups_;
+}
+
+std::vector<GroupAggregate> aggregate(
+    const std::vector<ScenarioSpec>& specs,
+    const std::vector<ScenarioOutcome>& outcomes) {
+    IMX_EXPECTS(specs.size() == outcomes.size());
+    // The batch fold IS the streaming fold, walked in spec index order —
+    // one code path, so streaming sinks and collected vectors cannot drift.
+    GroupAggregator aggregator;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        aggregator.add(specs[i], outcomes[i]);
+    }
+    return aggregator.groups();
 }
 
 util::Table aggregate_table(const std::vector<GroupAggregate>& groups,

@@ -2,9 +2,15 @@
 /// \brief Aggregation and reporting over sweep outcomes.
 ///
 /// Folds seed replicas of each scenario group into mean / stddev / 95% CI
-/// per metric, then emits the result as an aligned table or CSV.
-/// Accumulation walks specs in index order, so aggregates inherit the
-/// runner's thread-count invariance.
+/// per metric, then emits the result as an aligned table or CSV. The fold
+/// is incremental: GroupAggregator accumulates streaming count/mean/M2
+/// (Welford) moments one outcome at a time, so it works as a ResultSink
+/// over a live sweep (AggregateSink) as well as over a materialized vector
+/// (aggregate(), which is a loop over the same accumulator — streaming and
+/// batch results are therefore bitwise identical, not merely close).
+/// Outcomes must be fed in spec-index order; the runner's ordered sink
+/// stream guarantees that, so aggregates inherit its thread-count
+/// invariance.
 #ifndef IMX_EXP_AGGREGATE_HPP
 #define IMX_EXP_AGGREGATE_HPP
 
@@ -14,6 +20,8 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "exp/sink.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace imx::exp {
@@ -33,6 +41,46 @@ struct GroupAggregate {
     std::map<std::string, std::string> dims;  ///< from the first member spec
     std::size_t replicas = 0;
     std::map<std::string, MetricStats> metrics;
+};
+
+/// \brief Incremental group/metric accumulator: add() one (spec, outcome)
+/// at a time — in spec-index order — then groups() finalizes the streaming
+/// moments into GroupAggregates. Groups appear in first-add order.
+class GroupAggregator {
+public:
+    void add(const ScenarioSpec& spec, const ScenarioOutcome& outcome);
+    /// Finalize mean/stddev/ci95/min/max from the accumulated moments. May
+    /// be called repeatedly (e.g. for progress snapshots); add() remains
+    /// valid afterwards.
+    [[nodiscard]] std::vector<GroupAggregate> groups() const;
+
+private:
+    std::vector<GroupAggregate> groups_;  ///< metrics filled by groups()
+    std::map<std::string, std::size_t> group_index_;
+    std::vector<std::map<std::string, util::RunningStats>> accumulators_;
+};
+
+/// \brief A ResultSink that aggregates the stream as it arrives, holding
+/// O(groups x metrics) accumulator state instead of every outcome. After
+/// finish(), groups() returns exactly what aggregate() would have returned
+/// over the collected vectors.
+class AggregateSink final : public ResultSink {
+public:
+    /// \param specs the sweep grid the delivered indices refer to; must
+    ///   outlive the sink.
+    explicit AggregateSink(const std::vector<ScenarioSpec>& specs);
+    void on_outcome(std::size_t spec_index, ScenarioOutcome outcome) override;
+    void finish() override;
+
+    [[nodiscard]] bool finished() const { return finished_; }
+    /// \pre finish() has been called.
+    [[nodiscard]] const std::vector<GroupAggregate>& groups() const;
+
+private:
+    const std::vector<ScenarioSpec>& specs_;
+    GroupAggregator aggregator_;
+    std::vector<GroupAggregate> groups_;
+    bool finished_ = false;
 };
 
 /// \brief Group outcomes by spec.group (first-appearance order) and reduce

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 namespace imx::exp {
 
@@ -39,6 +40,52 @@ std::uint64_t require_uint64(const char* flag, const char* text) {
 
 }  // namespace
 
+ShardSpec parse_shard_spec(const std::string& text) {
+    const auto fail = [&text](const char* why) {
+        throw std::invalid_argument("malformed shard '" + text + "': " + why +
+                                    " (expected i/N with 0 <= i < N)");
+    };
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || text.find('/', slash + 1) !=
+                                          std::string::npos) {
+        fail("expected exactly one '/'");
+    }
+    const std::string index_text = text.substr(0, slash);
+    const std::string count_text = text.substr(slash + 1);
+    const auto parse_component = [&fail](const std::string& part,
+                                         const char* what) -> long {
+        if (part.empty() || part[0] == '-' || part[0] == '+') {
+            fail(what);
+        }
+        char* end = nullptr;
+        errno = 0;
+        const long value = std::strtol(part.c_str(), &end, 10);
+        if (end == part.c_str() || *end != '\0' || errno == ERANGE ||
+            value > INT_MAX) {
+            fail(what);
+        }
+        return value;
+    };
+    ShardSpec shard;
+    shard.index = static_cast<int>(
+        parse_component(index_text, "the shard index is not a number"));
+    shard.count = static_cast<int>(
+        parse_component(count_text, "the shard count is not a number"));
+    if (shard.count == 0) fail("the shard count must be >= 1");
+    if (shard.index >= shard.count) fail("the shard index must be < N");
+    return shard;
+}
+
+std::vector<std::size_t> shard_indices(std::size_t total,
+                                       const ShardSpec& shard) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = static_cast<std::size_t>(shard.index); i < total;
+         i += static_cast<std::size_t>(shard.count)) {
+        indices.push_back(i);
+    }
+    return indices;
+}
+
 SweepCli parse_sweep_cli(int argc, char** argv) {
     SweepCli options;
     const auto require_value = [&](int& i) -> const char* {
@@ -62,11 +109,26 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
             options.base_seed =
                 require_uint64("--base-seed", require_value(i));
             options.base_seed_given = true;
+        } else if (std::strcmp(argv[i], "--shard") == 0) {
+            try {
+                options.shard = parse_shard_spec(require_value(i));
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(2);
+            }
+            options.shard_given = true;
+        } else if (std::strcmp(argv[i], "--journal") == 0) {
+            options.journal = require_value(i);
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            options.resume = true;
+        } else if (std::strcmp(argv[i], "--merge") == 0) {
+            options.merge.emplace_back(require_value(i));
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr,
                          "error: unknown option '%s' (expected --quick, "
                          "--replicas N, --threads N, --csv PATH, "
-                         "--base-seed N)\n",
+                         "--base-seed N, --shard i/N, --journal PATH, "
+                         "--resume, --merge PATH)\n",
                          argv[i]);
             std::exit(2);
         } else {
@@ -74,6 +136,19 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
         }
     }
     if (options.replicas < 1) options.replicas = 1;
+    if (options.resume && options.journal.empty()) {
+        std::fprintf(stderr,
+                     "error: --resume requires --journal PATH (the journal "
+                     "to resume from)\n");
+        std::exit(2);
+    }
+    if (!options.merge.empty() &&
+        (options.shard_given || !options.journal.empty() || options.resume)) {
+        std::fprintf(stderr,
+                     "error: --merge folds existing journals and cannot be "
+                     "combined with --shard/--journal/--resume\n");
+        std::exit(2);
+    }
     return options;
 }
 

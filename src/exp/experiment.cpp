@@ -11,6 +11,7 @@
 #include "energy/trace_registry.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/experiments_builtin.hpp"
+#include "exp/journal.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "sim/policies/registry.hpp"
@@ -296,25 +297,67 @@ std::vector<ScenarioSpec> build_experiment_scenarios(
     return expand_experiment(experiment.spec, resolved);
 }
 
+namespace {
+
+void write_csv_if_requested(const SweepCli& resolved,
+                            const std::vector<ScenarioSpec>& specs,
+                            const std::vector<ScenarioOutcome>& outcomes) {
+    if (resolved.csv.empty()) return;
+    // A bad path must not lose the sweep results that follow.
+    try {
+        write_aggregate_csv(resolved.csv, aggregate(specs, outcomes));
+        std::printf("aggregate CSV written to %s\n", resolved.csv.c_str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: %s\n", e.what());
+    }
+}
+
+}  // namespace
+
 int run_experiment(const Experiment& experiment, const SweepCli& options) {
     const SweepCli resolved = resolve_options(experiment.spec, options);
     const auto specs = build_experiment_scenarios(experiment, resolved);
+
+    JournalHeader header;
+    header.experiment = experiment.spec.name;
+    header.total_specs = specs.size();
+    header.shard = resolved.shard;
+    header.base_seed = resolved.base_seed;
+    header.quick = resolved.quick;
+    header.replicas = resolved.replicas;
+
+    if (!resolved.merge.empty()) {
+        const auto outcomes =
+            merge_journal_outcomes(header, specs, resolved.merge);
+        write_csv_if_requested(resolved, specs, outcomes);
+        const ExperimentRunContext context{experiment.spec, resolved, specs,
+                                           outcomes};
+        // Journals carry scalar metrics only (no SimResults), so merged runs
+        // report through the generic aggregate path — which is exactly what
+        // makes the merged table/CSV byte-identical to a single-process run
+        // of a spec-file grid.
+        return generic_report(context);
+    }
+
     RunnerConfig runner;
     runner.threads = resolved.threads;
-    const auto outcomes = run_sweep(specs, runner);
-    if (!resolved.csv.empty()) {
-        // A bad path must not lose the sweep results that follow.
-        try {
-            write_aggregate_csv(resolved.csv, aggregate(specs, outcomes));
-            std::printf("aggregate CSV written to %s\n",
-                        resolved.csv.c_str());
-        } catch (const std::exception& e) {
-            std::fprintf(stderr, "warning: %s\n", e.what());
-        }
+    const ShardRunResult shard_run =
+        run_shard(specs, header, runner, resolved.journal, resolved.resume);
+    if (shard_run.reused > 0) {
+        std::fprintf(stderr, "resumed %zu of %zu scenario(s) from %s\n",
+                     shard_run.reused, shard_run.specs.size(),
+                     resolved.journal.c_str());
     }
-    const ExperimentRunContext context{experiment.spec, resolved, specs,
-                                       outcomes};
-    if (experiment.report) return experiment.report(context);
+    write_csv_if_requested(resolved, shard_run.specs, shard_run.outcomes);
+    const ExperimentRunContext context{experiment.spec, resolved,
+                                       shard_run.specs, shard_run.outcomes};
+    // Custom reports may read per-event SimResults and expect the full grid;
+    // a sharded slice or a resume (whose replayed outcomes are metrics-only)
+    // falls back to the generic aggregate table. The default unsharded,
+    // non-resumed path is bit-for-bit the historical behaviour.
+    const bool full_grid =
+        resolved.shard.count == 1 && shard_run.reused == 0;
+    if (full_grid && experiment.report) return experiment.report(context);
     return generic_report(context);
 }
 

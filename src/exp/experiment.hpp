@@ -107,7 +107,10 @@ std::vector<ScenarioSpec> expand_experiment(const ExperimentSpec& spec,
                                             const SweepCli& options);
 
 /// Everything a custom report may read: the resolved options, the expanded
-/// grid, and the (specs-parallel) outcomes.
+/// grid, and the (specs-parallel) outcomes. Custom reports only ever see a
+/// full, freshly-run grid — sharded, resumed, and merged runs report
+/// through the generic aggregate path because journaled outcomes carry
+/// scalar metrics only.
 struct ExperimentRunContext {
     const ExperimentSpec& spec;
     const SweepCli& options;
@@ -158,9 +161,12 @@ void register_experiment(const std::string& name, ExperimentFactory factory);
 std::vector<ScenarioSpec> build_experiment_scenarios(
     const Experiment& experiment, const SweepCli& options);
 
-/// \brief The shared driver: resolve options, build the grid, run the
-/// parallel sweep, write the optional aggregate CSV, then report (custom
-/// hook or generic table).
+/// \brief The shared driver: resolve options, build the grid, then either
+/// fold shard journals (--merge) or run the selected shard of the parallel
+/// sweep (optionally journaling / resuming), write the optional aggregate
+/// CSV, and report. The default unsharded run uses the experiment's custom
+/// report hook when it has one; sharded slices, resumed runs, and merges
+/// report through the generic aggregate table (see ExperimentRunContext).
 /// \return the process exit code.
 int run_experiment(const Experiment& experiment, const SweepCli& options);
 

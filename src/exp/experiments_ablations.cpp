@@ -28,6 +28,7 @@
 #include "energy/trace_registry.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/report.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "sim/policies/registry.hpp"
 #include "util/table.hpp"
 
@@ -309,7 +310,7 @@ Experiment runtime_experiment() {
         // Grid 1: incremental inference (the second Q-table) on/off.
         PaperSweep incremental_sweep;
         incremental_sweep.traces = {trace};
-        core::RuntimeConfig no_incremental;
+        sim::RuntimeConfig no_incremental;
         no_incremental.enable_incremental = false;
         incremental_sweep.systems = {
             {"with incremental (paper)", SystemKind::kOursQLearning,
@@ -324,7 +325,7 @@ Experiment runtime_experiment() {
         PaperSweep penalty_sweep;
         penalty_sweep.traces = {trace};
         for (const double penalty : kPenalties) {
-            core::RuntimeConfig cfg;
+            sim::RuntimeConfig cfg;
             cfg.miss_penalty = penalty;
             penalty_sweep.systems.push_back(
                 {"penalty " + util::fixed(penalty, 1),

@@ -1,0 +1,631 @@
+#include "exp/journal.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace imx::exp {
+
+namespace {
+
+std::string seed_hex(std::uint64_t seed) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+std::string shard_text(const ShardSpec& shard) {
+    return std::to_string(shard.index) + "/" + std::to_string(shard.count);
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+    for (const char c : text) {
+        const auto byte = static_cast<unsigned char>(c);
+        if (c == '"') {
+            out += "\\\"";
+        } else if (c == '\\') {
+            out += "\\\\";
+        } else if (byte < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+/// The JSON subset journals are written in: one flat object per line whose
+/// values are strings, numbers, booleans, or (for "metrics") one nested
+/// object of string -> number. Anything else is a parse error — the reader
+/// only has to understand what journal_*_line() emits.
+struct JsonValue {
+    enum class Kind { String, Number, Bool, Object };
+    Kind kind = Kind::Number;
+    std::string str;
+    double num = 0.0;
+    bool boolean = false;
+    MetricMap object;
+};
+using JsonObject = std::map<std::string, JsonValue>;
+
+class LineParser {
+public:
+    explicit LineParser(const std::string& line) : s_(line) {}
+
+    JsonObject parse_object_line() {
+        JsonObject object = parse_object();
+        skip_ws();
+        if (pos_ != s_.size()) fail("trailing characters after the object");
+        return object;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::runtime_error(why);
+    }
+
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) {
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected '") + c + "'");
+    }
+
+    JsonObject parse_object() {
+        JsonObject object;
+        expect('{');
+        if (consume('}')) return object;
+        while (true) {
+            std::string key = parse_string();
+            expect(':');
+            object.emplace(std::move(key), parse_value());
+            if (consume(',')) continue;
+            expect('}');
+            return object;
+        }
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        if (pos_ >= s_.size()) fail("unexpected end of line");
+        JsonValue value;
+        const char c = s_[pos_];
+        if (c == '"') {
+            value.kind = JsonValue::Kind::String;
+            value.str = parse_string();
+        } else if (c == '{') {
+            value.kind = JsonValue::Kind::Object;
+            value.object = parse_metrics();
+        } else if (c == 't' || c == 'f') {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = (c == 't');
+            const char* literal = value.boolean ? "true" : "false";
+            const std::size_t len = value.boolean ? 4 : 5;
+            if (s_.compare(pos_, len, literal) != 0) fail("bad literal");
+            pos_ += len;
+        } else {
+            value.kind = JsonValue::Kind::Number;
+            value.num = parse_number();
+        }
+        return value;
+    }
+
+    MetricMap parse_metrics() {
+        MetricMap metrics;
+        expect('{');
+        if (consume('}')) return metrics;
+        while (true) {
+            std::string key = parse_string();
+            expect(':');
+            metrics.emplace(std::move(key), parse_number());
+            if (consume(',')) continue;
+            expect('}');
+            return metrics;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = s_[pos_++];
+                    code *= 16;
+                    if (h >= '0' && h <= '9') {
+                        code += static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code += static_cast<unsigned>(h - 'a') + 10;
+                    } else if (h >= 'A' && h <= 'F') {
+                        code += static_cast<unsigned>(h - 'A') + 10;
+                    } else {
+                        fail("bad \\u escape digit");
+                    }
+                }
+                // The writer only escapes single bytes; reject anything a
+                // round-trip could not have produced.
+                if (code > 0xFF) fail("\\u escape above \\u00ff");
+                out += static_cast<char>(code);
+                break;
+            }
+            default: fail("unsupported escape");
+            }
+        }
+    }
+
+    double parse_number() {
+        skip_ws();
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' &&
+               s_[pos_] != ' ' && s_[pos_] != '\t') {
+            ++pos_;
+        }
+        const std::string token = s_.substr(start, pos_ - start);
+        if (token.empty()) fail("expected a number");
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            fail("'" + token + "' is not a number");
+        }
+        return value;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+const JsonValue& require_field(const JsonObject& object, const char* key,
+                               JsonValue::Kind kind, const char* kind_name) {
+    const auto it = object.find(key);
+    if (it == object.end() || it->second.kind != kind) {
+        throw std::runtime_error(std::string("missing or mistyped field '") +
+                                 key + "' (expected a " + kind_name + ")");
+    }
+    return it->second;
+}
+
+std::size_t require_count(double num, const char* what) {
+    if (!(num >= 0.0) || num != std::floor(num) || num > 9.0e15) {
+        throw std::runtime_error(std::string(what) +
+                                 " is not a non-negative integer");
+    }
+    return static_cast<std::size_t>(num);
+}
+
+JournalHeader header_from_object(const JsonObject& object) {
+    const double version =
+        require_field(object, "imx_journal", JsonValue::Kind::Number, "number")
+            .num;
+    if (version != static_cast<double>(kJournalVersion)) {
+        throw std::runtime_error(
+            "unsupported journal version " + std::to_string(version) +
+            " (this build reads version " + std::to_string(kJournalVersion) +
+            ")");
+    }
+    JournalHeader header;
+    header.experiment =
+        require_field(object, "experiment", JsonValue::Kind::String, "string")
+            .str;
+    header.total_specs = require_count(
+        require_field(object, "total_specs", JsonValue::Kind::Number, "number")
+            .num,
+        "total_specs");
+    try {
+        header.shard = parse_shard_spec(
+            require_field(object, "shard", JsonValue::Kind::String, "string")
+                .str);
+    } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(e.what());
+    }
+    const std::string seed_text =
+        require_field(object, "base_seed", JsonValue::Kind::String, "string")
+            .str;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 0);
+    if (end == seed_text.c_str() || *end != '\0' || errno == ERANGE) {
+        throw std::runtime_error("bad base_seed '" + seed_text + "'");
+    }
+    header.base_seed = static_cast<std::uint64_t>(seed);
+    header.quick =
+        require_field(object, "quick", JsonValue::Kind::Bool, "boolean")
+            .boolean;
+    header.replicas = static_cast<int>(require_count(
+        require_field(object, "replicas", JsonValue::Kind::Number, "number")
+            .num,
+        "replicas"));
+    return header;
+}
+
+JournalEntry entry_from_object(JsonObject object) {
+    JournalEntry entry;
+    entry.spec_index = require_count(
+        require_field(object, "spec_index", JsonValue::Kind::Number, "number")
+            .num,
+        "spec_index");
+    entry.id =
+        require_field(object, "id", JsonValue::Kind::String, "string").str;
+    entry.replica = static_cast<int>(require_count(
+        require_field(object, "replica", JsonValue::Kind::Number, "number")
+            .num,
+        "replica"));
+    require_field(object, "metrics", JsonValue::Kind::Object, "object");
+    entry.metrics = std::move(object.find("metrics")->second.object);
+    return entry;
+}
+
+/// Reject a journal whose identity fields disagree with the run in hand.
+void check_header(const JournalHeader& got, const JournalHeader& expected,
+                  const std::string& path, bool check_shard) {
+    const auto mismatch = [&path](const char* what, const std::string& got_text,
+                                  const std::string& want_text) {
+        throw std::runtime_error("journal '" + path +
+                                 "' does not match this run: " + what +
+                                 " is " + got_text + ", expected " +
+                                 want_text);
+    };
+    if (got.experiment != expected.experiment) {
+        mismatch("experiment", "'" + got.experiment + "'",
+                 "'" + expected.experiment + "'");
+    }
+    if (got.total_specs != expected.total_specs) {
+        mismatch("total_specs", std::to_string(got.total_specs),
+                 std::to_string(expected.total_specs));
+    }
+    if (got.base_seed != expected.base_seed) {
+        mismatch("base_seed", seed_hex(got.base_seed),
+                 seed_hex(expected.base_seed));
+    }
+    if (got.quick != expected.quick) {
+        mismatch("quick", got.quick ? "true" : "false",
+                 expected.quick ? "true" : "false");
+    }
+    if (got.replicas != expected.replicas) {
+        mismatch("replicas", std::to_string(got.replicas),
+                 std::to_string(expected.replicas));
+    }
+    if (check_shard && (got.shard.index != expected.shard.index ||
+                        got.shard.count != expected.shard.count)) {
+        mismatch("shard", shard_text(got.shard), shard_text(expected.shard));
+    }
+}
+
+/// Reject an entry that cannot belong to `shard` of the grid in hand.
+void check_entry(const JournalEntry& entry,
+                 const std::vector<ScenarioSpec>& specs,
+                 const ShardSpec& shard, const std::string& path) {
+    if (entry.spec_index >= specs.size() ||
+        entry.spec_index % static_cast<std::size_t>(shard.count) !=
+            static_cast<std::size_t>(shard.index)) {
+        throw std::runtime_error(
+            "journal '" + path + "': entry for spec index " +
+            std::to_string(entry.spec_index) + " does not belong to shard " +
+            shard_text(shard) + " of " + std::to_string(specs.size()) +
+            " scenario(s)");
+    }
+    const ScenarioSpec& spec = specs[entry.spec_index];
+    if (entry.id != spec.id || entry.replica != spec.replica) {
+        throw std::runtime_error(
+            "journal '" + path + "': spec index " +
+            std::to_string(entry.spec_index) + " is '" + entry.id +
+            "' (replica " + std::to_string(entry.replica) +
+            ") but the grid expands to '" + spec.id + "' (replica " +
+            std::to_string(spec.replica) +
+            ") — was the journal written against a different grid?");
+    }
+}
+
+}  // namespace
+
+std::string journal_header_line(const JournalHeader& header) {
+    std::string line = "{\"imx_journal\": ";
+    line += std::to_string(kJournalVersion);
+    line += ", \"experiment\": \"";
+    append_escaped(line, header.experiment);
+    line += "\", \"total_specs\": ";
+    line += std::to_string(header.total_specs);
+    line += ", \"shard\": \"";
+    line += shard_text(header.shard);
+    line += "\", \"base_seed\": \"";
+    line += seed_hex(header.base_seed);
+    line += "\", \"quick\": ";
+    line += header.quick ? "true" : "false";
+    line += ", \"replicas\": ";
+    line += std::to_string(header.replicas);
+    line += "}";
+    return line;
+}
+
+std::string journal_entry_line(const JournalEntry& entry) {
+    std::string line = "{\"spec_index\": ";
+    line += std::to_string(entry.spec_index);
+    line += ", \"id\": \"";
+    append_escaped(line, entry.id);
+    line += "\", \"replica\": ";
+    line += std::to_string(entry.replica);
+    line += ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [name, value] : entry.metrics) {
+        if (!first) line += ", ";
+        first = false;
+        line += "\"";
+        append_escaped(line, name);
+        line += "\": ";
+        // 17 significant digits round-trip any IEEE double bit-exactly —
+        // the property the byte-identical merge guarantee rests on.
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        line += buf;
+    }
+    line += "}}";
+    return line;
+}
+
+JournalFile read_journal(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("cannot open journal '" + path + "'");
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    if (lines.empty()) {
+        throw std::runtime_error("journal '" + path +
+                                 "' is empty (no header line)");
+    }
+    JournalFile file;
+    try {
+        file.header = header_from_object(LineParser(lines[0]).parse_object_line());
+    } catch (const std::exception& e) {
+        throw std::runtime_error(path + ":1: bad journal header: " + e.what());
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        try {
+            file.entries.push_back(
+                entry_from_object(LineParser(lines[i]).parse_object_line()));
+        } catch (const std::exception& e) {
+            if (i + 1 == lines.size()) {
+                // A torn final line is what a crash mid-write leaves behind;
+                // the valid prefix is still usable (--resume rewrites it).
+                file.truncated = true;
+                break;
+            }
+            throw std::runtime_error(path + ":" + std::to_string(i + 1) +
+                                     ": " + e.what());
+        }
+    }
+    return file;
+}
+
+struct JournalWriter::Impl {
+    std::string path;
+    std::ofstream out;
+    std::vector<std::size_t> global_indices;
+    std::vector<std::string> ids;
+    std::vector<int> replicas;
+
+    void write_line(const std::string& line) {
+        out << line << '\n' << std::flush;
+        if (!out) {
+            throw std::runtime_error("failed to append to journal '" + path +
+                                     "'");
+        }
+    }
+};
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const JournalHeader& header,
+                             const std::vector<ScenarioSpec>& specs,
+                             std::vector<std::size_t> global_indices)
+    : impl_(nullptr) {
+    IMX_EXPECTS(specs.size() == global_indices.size());
+    auto impl = std::make_unique<Impl>();
+    impl->path = path;
+    impl->global_indices = std::move(global_indices);
+    impl->ids.reserve(specs.size());
+    impl->replicas.reserve(specs.size());
+    for (const auto& spec : specs) {
+        impl->ids.push_back(spec.id);
+        impl->replicas.push_back(spec.replica);
+    }
+    impl->out.open(path, std::ios::trunc);
+    if (!impl->out) {
+        throw std::runtime_error("cannot open journal '" + path +
+                                 "' for writing");
+    }
+    impl->write_line(journal_header_line(header));
+    impl_ = impl.release();
+}
+
+JournalWriter::~JournalWriter() { delete impl_; }
+
+void JournalWriter::replay(const JournalEntry& entry) {
+    impl_->write_line(journal_entry_line(entry));
+}
+
+void JournalWriter::on_outcome(std::size_t spec_index,
+                               ScenarioOutcome outcome) {
+    IMX_EXPECTS(spec_index < impl_->global_indices.size());
+    JournalEntry entry;
+    entry.spec_index = impl_->global_indices[spec_index];
+    entry.id = impl_->ids[spec_index];
+    entry.replica = impl_->replicas[spec_index];
+    entry.metrics = std::move(outcome.metrics);
+    impl_->write_line(journal_entry_line(entry));
+}
+
+void JournalWriter::finish() {
+    impl_->out.flush();
+    if (!impl_->out) {
+        throw std::runtime_error("journal '" + impl_->path +
+                                 "' failed to flush");
+    }
+}
+
+ShardRunResult run_shard(const std::vector<ScenarioSpec>& all_specs,
+                         const JournalHeader& header,
+                         const RunnerConfig& runner,
+                         const std::string& journal_path, bool resume) {
+    IMX_EXPECTS(header.total_specs == all_specs.size());
+    ShardRunResult result;
+    result.indices = shard_indices(all_specs.size(), header.shard);
+    result.specs.reserve(result.indices.size());
+    for (const std::size_t g : result.indices) {
+        result.specs.push_back(all_specs[g]);
+    }
+    result.outcomes.resize(result.specs.size());
+
+    // Recover completed scenarios from a prior journal of this same shard.
+    // A missing file is not an error: first launch and relaunch share one
+    // command line.
+    std::map<std::size_t, JournalEntry> reusable;  // global index -> entry
+    if (resume && static_cast<bool>(std::ifstream(journal_path))) {
+        JournalFile prior = read_journal(journal_path);
+        check_header(prior.header, header, journal_path, /*check_shard=*/true);
+        for (auto& entry : prior.entries) {
+            check_entry(entry, all_specs, header.shard, journal_path);
+            const std::size_t g = entry.spec_index;
+            if (!reusable.emplace(g, std::move(entry)).second) {
+                throw std::runtime_error(
+                    "journal '" + journal_path + "': spec index " +
+                    std::to_string(g) + " appears more than once");
+            }
+        }
+    }
+
+    std::vector<ScenarioSpec> to_run;
+    std::vector<std::size_t> to_run_global;
+    std::vector<std::size_t> to_run_local;
+    for (std::size_t l = 0; l < result.indices.size(); ++l) {
+        const auto it = reusable.find(result.indices[l]);
+        if (it != reusable.end()) {
+            result.outcomes[l].metrics = it->second.metrics;
+            ++result.reused;
+        } else {
+            to_run.push_back(result.specs[l]);
+            to_run_global.push_back(result.indices[l]);
+            to_run_local.push_back(l);
+        }
+    }
+
+    std::optional<JournalWriter> writer;
+    if (!journal_path.empty()) {
+        writer.emplace(journal_path, header, to_run, to_run_global);
+        // Rewrite the recovered prefix (dropping any torn tail) so the file
+        // is a valid journal again before the live stream appends to it.
+        for (const std::size_t g : result.indices) {
+            const auto it = reusable.find(g);
+            if (it != reusable.end()) writer->replay(it->second);
+        }
+    }
+
+    CollectSink collect(to_run.size());
+    if (writer) {
+        TeeSink tee({&*writer, &collect});
+        run_sweep(to_run, tee, runner);
+    } else {
+        run_sweep(to_run, collect, runner);
+    }
+    std::vector<ScenarioOutcome> ran = collect.take();
+    for (std::size_t k = 0; k < ran.size(); ++k) {
+        result.outcomes[to_run_local[k]] = std::move(ran[k]);
+    }
+    return result;
+}
+
+std::vector<ScenarioOutcome> merge_journal_outcomes(
+    const JournalHeader& expected, const std::vector<ScenarioSpec>& specs,
+    const std::vector<std::string>& paths) {
+    IMX_EXPECTS(expected.total_specs == specs.size());
+    IMX_EXPECTS(!paths.empty());
+    std::vector<ScenarioOutcome> outcomes(specs.size());
+    std::vector<bool> covered(specs.size(), false);
+    for (const auto& path : paths) {
+        JournalFile file = read_journal(path);
+        if (file.truncated) {
+            throw std::runtime_error(
+                "journal '" + path +
+                "' ends in a torn line — re-run that shard with --resume "
+                "before merging");
+        }
+        check_header(file.header, expected, path, /*check_shard=*/false);
+        for (auto& entry : file.entries) {
+            check_entry(entry, specs, file.header.shard, path);
+            if (covered[entry.spec_index]) {
+                throw std::runtime_error(
+                    "spec index " + std::to_string(entry.spec_index) + " ('" +
+                    entry.id +
+                    "') is covered by more than one journal entry "
+                    "(duplicate or overlapping shards?)");
+            }
+            covered[entry.spec_index] = true;
+            outcomes[entry.spec_index].metrics = std::move(entry.metrics);
+        }
+        // A clean journal missing part of its own slice means the run was
+        // interrupted between lines — resumable, but not mergeable yet.
+        const std::size_t slice =
+            shard_indices(specs.size(), file.header.shard).size();
+        if (file.entries.size() != slice) {
+            throw std::runtime_error(
+                "journal '" + path + "' covers " +
+                std::to_string(file.entries.size()) + " of " +
+                std::to_string(slice) + " scenario(s) of shard " +
+                shard_text(file.header.shard) +
+                " — re-run that shard with --resume before merging");
+        }
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (!covered[i]) {
+            throw std::runtime_error("merge leaves spec index " +
+                                     std::to_string(i) + " ('" + specs[i].id +
+                                     "') uncovered — a shard journal is "
+                                     "missing");
+        }
+    }
+    return outcomes;
+}
+
+}  // namespace imx::exp

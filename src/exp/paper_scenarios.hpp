@@ -22,10 +22,10 @@
 #include <vector>
 
 #include "core/experiment_setup.hpp"
-#include "core/runtime.hpp"
 #include "core/search.hpp"
 #include "exp/cli.hpp"  // kDefaultBaseSeed
 #include "exp/scenario.hpp"
+#include "sim/policies/qlearning.hpp"
 
 namespace imx::exp {
 
@@ -43,7 +43,7 @@ struct SystemSpec {
     std::string label;
     SystemKind kind = SystemKind::kOursQLearning;
     int train_episodes = 16;            ///< learning policies only
-    core::RuntimeConfig runtime = {};   ///< learning policies only
+    sim::RuntimeConfig runtime = {};    ///< learning policies only
     /// Registry name of the exit policy to run (sim::make_policy). Resolved
     /// per scenario: an explicit name (or one injected by policy_patch) wins;
     /// otherwise kOursQLearning implies "qlearning" and kOursStatic implies

@@ -2,33 +2,72 @@
 
 #include <algorithm>
 #include <exception>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "exp/thread_pool.hpp"
 
 namespace imx::exp {
 
-std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
-                                       const RunnerConfig& config) {
-    std::vector<ScenarioOutcome> results(specs.size());
-    if (specs.empty()) return results;
+void run_sweep(const std::vector<ScenarioSpec>& specs, ResultSink& sink,
+               const RunnerConfig& config) {
+    if (specs.empty()) {
+        sink.finish();
+        return;
+    }
 
     std::size_t threads = config.threads > 0
                               ? static_cast<std::size_t>(config.threads)
                               : std::max(1u, std::thread::hardware_concurrency());
     threads = std::min(threads, specs.size());
 
+    // Completed-but-undelivered outcomes wait in their slots; the cursor
+    // walks them in index order so the sink sees a deterministic stream.
+    // A slot is released as soon as it is delivered, bounding memory to the
+    // out-of-order window instead of the whole grid.
+    std::vector<std::optional<ScenarioOutcome>> slots(specs.size());
     std::vector<std::exception_ptr> errors(specs.size());
+    std::mutex delivery_mutex;
+    std::size_t cursor = 0;
+    bool blocked = false;  // first error (in index order) stops the stream
+
     ThreadPool pool(threads);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        pool.submit([&specs, &results, &errors, i] {
+        pool.submit([&specs, &sink, &slots, &errors, &delivery_mutex, &cursor,
+                     &blocked, i] {
+            std::optional<ScenarioOutcome> outcome;
+            std::exception_ptr error;
             try {
                 ScenarioContext ctx;
                 ctx.seed = specs[i].seed;
                 ctx.replica = specs[i].replica;
-                results[i] = specs[i].run(ctx);
+                outcome = specs[i].run(ctx);
             } catch (...) {
-                errors[i] = std::current_exception();
+                error = std::current_exception();
+            }
+
+            std::lock_guard<std::mutex> lock(delivery_mutex);
+            slots[i] = std::move(outcome);
+            errors[i] = error;
+            while (!blocked && cursor < specs.size() &&
+                   (slots[cursor].has_value() || errors[cursor])) {
+                if (errors[cursor]) {
+                    blocked = true;
+                    break;
+                }
+                try {
+                    sink.on_outcome(cursor, std::move(*slots[cursor]));
+                } catch (...) {
+                    // A sink failure (e.g. journal disk full) is surfaced
+                    // like a scenario failure at the same index.
+                    errors[cursor] = std::current_exception();
+                    blocked = true;
+                    break;
+                }
+                slots[cursor].reset();
+                ++cursor;
             }
         });
     }
@@ -37,7 +76,14 @@ std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
     for (const auto& error : errors) {
         if (error) std::rethrow_exception(error);
     }
-    return results;
+    sink.finish();
+}
+
+std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                       const RunnerConfig& config) {
+    CollectSink sink(specs.size());
+    run_sweep(specs, sink, config);
+    return sink.take();
 }
 
 }  // namespace imx::exp

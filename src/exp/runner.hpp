@@ -1,17 +1,21 @@
 /// \file
 /// \brief Parallel sweep runner: fans ScenarioSpecs out over a fixed-size
-/// thread pool and returns outcomes in spec order.
+/// thread pool and streams outcomes to a ResultSink in spec order.
 ///
 /// Because every scenario is self-contained (own seed stream, own
-/// model/policy instances) and outcomes land in index-addressed slots, the
-/// returned vector — and anything folded over it in order, like the
-/// aggregation layer — is bitwise identical for any thread count.
+/// model/policy instances) and the sink observes outcomes in strictly
+/// increasing spec-index order (out-of-order completions are buffered), the
+/// delivered stream — and anything folded over it in order, like the
+/// aggregation layer — is bitwise identical for any thread count. The
+/// vector-returning overload is a thin CollectSink wrapper kept for callers
+/// that want the historical "two parallel vectors" shape.
 #ifndef IMX_EXP_RUNNER_HPP
 #define IMX_EXP_RUNNER_HPP
 
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "exp/sink.hpp"
 
 namespace imx::exp {
 
@@ -20,13 +24,22 @@ struct RunnerConfig {
     int threads = 0;
 };
 
-/// \brief Run every scenario in parallel.
+/// \brief Run every scenario in parallel, streaming outcomes to `sink`.
 /// \param specs the expanded grid; each spec's run function must be set.
+/// \param sink receives every outcome in strictly increasing spec-index
+///   order (serialized — the sink needs no locking), then finish() exactly
+///   once on success. On failure the stream ends before the lowest failing
+///   index and finish() is not called.
 /// \param config worker-thread count (0 = all hardware threads).
-/// \return outcomes such that results[i] corresponds to specs[i].
-/// \throws whatever the lowest-index failing scenario threw, rethrown after
-///   all workers finish (deterministic error behaviour regardless of
-///   scheduling).
+/// \throws whatever the lowest-index failing scenario (or the sink) threw,
+///   rethrown after all workers finish (deterministic error behaviour
+///   regardless of scheduling).
+void run_sweep(const std::vector<ScenarioSpec>& specs, ResultSink& sink,
+               const RunnerConfig& config = {});
+
+/// \brief Run every scenario in parallel and collect the outcomes.
+/// \return outcomes such that results[i] corresponds to specs[i] —
+///   equivalent to streaming into a CollectSink, bitwise.
 std::vector<ScenarioOutcome> run_sweep(const std::vector<ScenarioSpec>& specs,
                                        const RunnerConfig& config = {});
 

@@ -6,7 +6,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "core/trace_eval.hpp"
 #include "sim/simulator.hpp"
 
@@ -119,8 +119,8 @@ sim::EnergyState state_with(double level, double capacity, double rate) {
 }
 
 TEST(QLearningPolicy, SelectsValidExitsAndHasSmallFootprint) {
-    core::RuntimeConfig cfg;
-    core::QLearningExitPolicy policy(3, cfg);
+    sim::RuntimeConfig cfg;
+    sim::QLearningExitPolicy policy(3, cfg);
     auto model = make_model();
     for (int i = 0; i < 100; ++i) {
         const int e = policy.select_exit(
@@ -136,11 +136,11 @@ TEST(QLearningPolicy, SelectsValidExitsAndHasSmallFootprint) {
 TEST(QLearningPolicy, LearnsCheapExitWhenDeepExitsCauseMisses) {
     // Synthetic loop: deep exits always produce two missed events, cheap exit
     // none. Reward favors exit 0 despite equal correctness.
-    core::RuntimeConfig cfg;
+    sim::RuntimeConfig cfg;
     cfg.exit_q.epsilon = 0.3;
     cfg.exit_q.epsilon_decay = 0.999;
     cfg.miss_penalty = 1.0;
-    core::QLearningExitPolicy policy(3, cfg);
+    sim::QLearningExitPolicy policy(3, cfg);
     auto model = make_model();
     const auto s = state_with(2.0, 5.0, 0.02);
     for (int i = 0; i < 3000; ++i) {
@@ -156,8 +156,8 @@ TEST(QLearningPolicy, LearnsCheapExitWhenDeepExitsCauseMisses) {
 }
 
 TEST(QLearningPolicy, EvalModeIsGreedyAndFrozen) {
-    core::RuntimeConfig cfg;
-    core::QLearningExitPolicy policy(3, cfg);
+    sim::RuntimeConfig cfg;
+    sim::QLearningExitPolicy policy(3, cfg);
     auto model = make_model();
     policy.set_eval_mode(true);
     const auto s = state_with(3.0, 5.0, 0.02);
@@ -169,9 +169,9 @@ TEST(QLearningPolicy, EvalModeIsGreedyAndFrozen) {
 }
 
 TEST(QLearningPolicy, IncrementalRefusesWhenUnaffordable) {
-    core::RuntimeConfig cfg;
+    sim::RuntimeConfig cfg;
     cfg.enable_incremental = true;
-    core::QLearningExitPolicy policy(3, cfg);
+    sim::QLearningExitPolicy policy(3, cfg);
     auto model = make_model();
     // Level far below the incremental cost of exit0 -> exit1 (~0.35 mJ).
     EXPECT_FALSE(policy.continue_inference(state_with(0.01, 5.0, 0.0), model, 0,
@@ -182,9 +182,9 @@ TEST(QLearningPolicy, IncrementalRefusesWhenUnaffordable) {
 }
 
 TEST(QLearningPolicy, IncrementalDisabledByConfig) {
-    core::RuntimeConfig cfg;
+    sim::RuntimeConfig cfg;
     cfg.enable_incremental = false;
-    core::QLearningExitPolicy policy(3, cfg);
+    sim::QLearningExitPolicy policy(3, cfg);
     auto model = make_model();
     EXPECT_FALSE(policy.continue_inference(state_with(5.0, 5.0, 0.0), model, 0,
                                            0.0));

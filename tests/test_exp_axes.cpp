@@ -15,7 +15,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "core/search.hpp"
 #include "core/trace_eval.hpp"
 #include "energy/solar.hpp"
@@ -366,7 +366,7 @@ TEST(PortedScenarios, LearningCurveMatchesHandRolledTrainingLoop) {
     // on the canonical schedule.
     core::OracleInferenceModel model(setup->network, setup->deployed_policy,
                                      setup->exit_accuracy);
-    core::QLearningExitPolicy policy(setup->network.num_exits, {});
+    sim::QLearningExitPolicy policy(setup->network.num_exits, {});
     sim::Simulator simulator(setup->trace, setup->multi_exit_sim);
     std::vector<double> curve;
     for (int ep = 0; ep < episodes; ++ep) {

@@ -9,7 +9,7 @@
 #include "core/experiment_setup.hpp"
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
-#include "core/runtime.hpp"
+#include "sim/policies/qlearning.hpp"
 #include "data/synth_cifar.hpp"
 #include "nn/train.hpp"
 #include "sim/policies/greedy.hpp"
@@ -86,7 +86,7 @@ TEST(Integration, QLearningImprovesOverStaticLut) {
     const auto setup = core::make_paper_setup();
     core::OracleInferenceModel model(setup.network, setup.deployed_policy,
                                      setup.exit_accuracy);
-    core::QLearningExitPolicy policy(3, core::RuntimeConfig{});
+    sim::QLearningExitPolicy policy(3, sim::RuntimeConfig{});
     sim::Simulator simulator(setup.trace, setup.multi_exit_sim);
     for (int episode = 0; episode < 12; ++episode) {
         const auto events = sim::generate_events(
