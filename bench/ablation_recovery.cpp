@@ -1,0 +1,14 @@
+// Power-failure ablation: recovery strategy (restart / checkpoint at layer
+// or exit granularity / checkpoint-free) x harvesting source x deadline,
+// with the failure-free runtime as the rec-none baseline. Thin shim over
+// the "recovery-ablation" registry entry — the same grid is also
+// expressible as a pure spec file, see
+// examples/experiments/recovery_ablation.ini and docs/recovery.md.
+//
+// Usage: bench_ablation_recovery [--quick] [--replicas N] [--threads N]
+//                                [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
+
+int main(int argc, char** argv) {
+    return imx::exp::experiment_main("recovery-ablation", argc, argv);
+}

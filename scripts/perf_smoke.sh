@@ -55,6 +55,10 @@ run_case "latency-table (--quick --replicas 2)" \
          latency-table --quick --replicas 2
 run_case "harvester_ablation.ini (--quick)" \
          --spec "$SPEC_DIR/harvester_ablation.ini" --quick
+# The failure-model hot path: simulator steps with the recovery branch
+# live, across all built-in strategies.
+run_case "recovery-ablation (--quick)" \
+         recovery-ablation --quick
 # Shard mode: same grid, half the specs, journal streaming on — tracks the
 # per-shard overhead of shard selection + journaling against the unsharded
 # trend line above.

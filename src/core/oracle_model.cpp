@@ -64,6 +64,30 @@ std::int64_t OracleInferenceModel::incremental_macs(int from_exit,
     return total;
 }
 
+std::vector<std::int64_t> OracleInferenceModel::segment_macs(
+    int from_exit, int to_exit) const {
+    IMX_EXPECTS(to_exit > from_exit && to_exit < num_exits());
+    // Same layer walk as incremental_macs, but each new layer is its own
+    // segment (in path order) instead of being summed.
+    std::vector<std::int64_t> segments;
+    for (const auto& [layer, macs] :
+         path_macs_[static_cast<std::size_t>(to_exit)]) {
+        bool already_run = false;
+        if (from_exit >= 0) {
+            const auto& from_path =
+                path_macs_[static_cast<std::size_t>(from_exit)];
+            already_run =
+                std::any_of(from_path.begin(), from_path.end(),
+                            [layer = layer](const auto& p) {
+                                return p.first == layer;
+                            });
+        }
+        if (!already_run) segments.push_back(macs);
+    }
+    if (segments.empty()) segments.push_back(0);
+    return segments;
+}
+
 double OracleInferenceModel::difficulty(int event_id) const {
     return hash_uniform(config_.seed, static_cast<std::uint64_t>(event_id), 0);
 }

@@ -41,6 +41,8 @@ public:
     [[nodiscard]] std::int64_t exit_macs(int exit) const override;
     [[nodiscard]] std::int64_t incremental_macs(int from_exit,
                                                 int to_exit) const override;
+    [[nodiscard]] std::vector<std::int64_t> segment_macs(
+        int from_exit, int to_exit) const override;
     [[nodiscard]] sim::ExitOutcome evaluate(int event_id, int exit) override;
     [[nodiscard]] double model_bytes() const override { return model_bytes_; }
 

@@ -15,6 +15,8 @@ EnergyStorage::EnergyStorage(const StorageConfig& config)
     IMX_EXPECTS(config.off_threshold_mj >= 0.0);
     IMX_EXPECTS(config.on_threshold_mj >= config.off_threshold_mj);
     IMX_EXPECTS(config.on_threshold_mj <= config.capacity_mj);
+    IMX_EXPECTS(config.death_threshold_mj >= 0.0 &&
+                config.death_threshold_mj <= config.capacity_mj);
 }
 
 double EnergyStorage::efficiency_at(double power_mw) const {

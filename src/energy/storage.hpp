@@ -28,6 +28,12 @@ struct StorageConfig {
     /// on_threshold and dies below off_threshold.
     double on_threshold_mj = 0.5;
     double off_threshold_mj = 0.05;
+    /// Brown-out death threshold of the failure model (sim/recovery/): a
+    /// recovery-enabled run that sags strictly below this level mid-inference
+    /// dies and must restart under its recovery strategy. 0 disables death
+    /// (the level never goes negative). Only the recovery-enabled simulator
+    /// path reads it — the default runtime is unaffected.
+    double death_threshold_mj = 0.05;
 };
 
 /// \brief Stateful energy buffer: harvest in, inference energy out.
@@ -62,6 +68,11 @@ public:
     }
     [[nodiscard]] bool must_turn_off() const {
         return level_mj_ <= config_.off_threshold_mj;
+    }
+    /// \brief Below the failure model's brown-out threshold (strict, so a
+    /// zero threshold never fires)?
+    [[nodiscard]] bool below_death_threshold() const {
+        return level_mj_ < config_.death_threshold_mj;
     }
     [[nodiscard]] const StorageConfig& config() const { return config_; }
 

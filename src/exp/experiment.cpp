@@ -110,6 +110,7 @@ PaperSweep make_sweep(const ExperimentSpec& spec, const SweepCli& options) {
                                     "' declares no [system]");
     }
     const bool has_policy_axis = !spec.policies.empty();
+    const bool has_recovery_axis = !spec.recoveries.empty();
 
     PaperSweep sweep;
     sweep.replicas = resolved.replicas;
@@ -162,6 +163,12 @@ PaperSweep make_sweep(const ExperimentSpec& spec, const SweepCli& options) {
             throw std::invalid_argument(
                 "system '" + entry.label + "': a [patch.policy] axis cannot "
                 "cross a checkpointed baseline (no exit choice to override)");
+        }
+        if (!multi_exit && has_recovery_axis) {
+            throw std::invalid_argument(
+                "system '" + entry.label + "': a [recovery.*] axis cannot "
+                "cross a checkpointed baseline (it models its own intrinsic "
+                "checkpointing)");
         }
         if (kind == SystemKind::kOursPolicy && entry.policy.empty() &&
             !has_policy_axis) {
@@ -231,6 +238,15 @@ PaperSweep make_sweep(const ExperimentSpec& spec, const SweepCli& options) {
                                             "' on the [patch.policy] axis");
             }
             push_unique(axis, policy_patch(policy));
+        }
+        axes.push_back(std::move(axis));
+    }
+    if (has_recovery_axis) {
+        std::vector<SimPatch> axis;
+        for (const auto& cell : spec.recoveries) {
+            // recovery_patch() trial-builds the strategy, so unknown names
+            // and bad cost parameters throw here with the axis context.
+            push_unique(axis, recovery_patch(cell));
         }
         axes.push_back(std::move(axis));
     }

@@ -64,11 +64,14 @@ struct ExperimentSpec {
     std::vector<TraceEntry> traces = {TraceEntry{}};
     std::vector<SystemEntry> systems;
     /// Patch axes (empty = axis absent). Non-empty axes cross into a full
-    /// factorial grid in storage -> deadline -> policy order via
+    /// factorial grid in storage -> deadline -> policy -> recovery order via
     /// cross_patches(), exactly like the hand-written ablation benches.
     std::vector<double> storage_mj;
     std::vector<double> deadline_s;  ///< infinity = explicit ddl-none cell
     std::vector<std::string> policies;
+    /// Power-failure/recovery axis ([recovery.<label>] spec sections or
+    /// recovery_patch() cells); multi-exit systems only.
+    std::vector<RecoveryCell> recoveries;
     int replicas = 1;  ///< default; `--replicas` on the CLI overrides
     /// Metric columns of the generic aggregate-table report.
     std::vector<std::string> metrics = {"iepmj", "acc_all_pct", "processed"};

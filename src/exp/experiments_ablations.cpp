@@ -1,10 +1,11 @@
 /// \file
-/// \brief Built-in ablation experiments (harvester / runtime / search /
-/// trace / storage-deadline / deadline-policy). Like experiments_figs.cpp,
-/// every grid ported from a bench main keeps its replica-0 output
-/// byte-identical; harvester-ablation is registry-native (its traces come
-/// from the energy trace registry, mirrored by the shipped
-/// harvester_ablation.ini spec).
+/// \brief Built-in ablation experiments (harvester / recovery / runtime /
+/// search / trace / storage-deadline / deadline-policy). Like
+/// experiments_figs.cpp, every grid ported from a bench main keeps its
+/// replica-0 output byte-identical; harvester-ablation and recovery-ablation
+/// are registry-native (traces from the energy trace registry, recovery
+/// cells from the recovery-strategy registry, mirrored by the shipped
+/// harvester_ablation.ini / recovery_ablation.ini specs).
 #include "exp/experiments_builtin.hpp"
 
 #include <algorithm>
@@ -284,6 +285,85 @@ Experiment harvester_experiment() {
     e.spec.metrics = {"iepmj", "deadline_miss_pct", "acc_all_pct",
                       "processed"};
     e.report = harvester_report;
+    return e;
+}
+
+// --- recovery-ablation ----------------------------------------------------
+
+int recovery_report(const ExperimentRunContext& ctx) {
+    const int code = generic_report(ctx);
+    std::printf(
+        "\nnotes: rec-none is the historical failure-free runtime (deaths "
+        "is 0 by construction). The other cells run the same grid under the "
+        "power-failure model: while an inference stalls waiting to afford "
+        "its next execution unit the powered device drains active_power_mw, "
+        "and a sag below death_threshold_mj kills the run. rec-restart then "
+        "recomputes everything (wasted_macs_m), rec-ckpt-* persist committed "
+        "units to NVM at a per-commit write cost (recovery_mj), and "
+        "rec-ckpt-free restores for a small per-unit penalty. Strategies are "
+        "spec-level config (docs/recovery.md) — edit the [recovery.*] "
+        "sections of examples/experiments/recovery_ablation.ini, or register "
+        "a custom strategy, without recompiling.\n");
+    return code;
+}
+
+Experiment recovery_experiment() {
+    Experiment e;
+    e.spec.name = "recovery-ablation";
+    e.spec.description =
+        "Power-failure ablation: recovery strategy (restart / checkpoint / "
+        "checkpoint-free) x harvesting source x deadline";
+    e.spec.title =
+        "Recovery strategy x harvesting source x deadline (greedy policy)";
+    const auto trace = [](const char* label, const char* source,
+                          energy::TraceParams params) {
+        TraceEntry entry;
+        entry.label = label;
+        entry.config.trace_source = source;
+        entry.config.trace_params = std::move(params);
+        return entry;
+    };
+    // Keep traces and cells in lockstep with the shipped spec
+    // examples/experiments/recovery_ablation.ini — the round-trip test pins
+    // the expanded grids against each other. rf-bursty's dead gaps are what
+    // make mid-inference brown-outs likely; paper-solar is the benign
+    // diurnal envelope.
+    e.spec.traces = {
+        TraceEntry{},  // the canonical paper-solar environment
+        trace("rf-bursty", "rf-bursty",
+              {{"burst_power_mw", "0.6"},
+               {"mean_on_s", "2"},
+               {"mean_off_s", "18"}}),
+    };
+    e.spec.systems = {{"ours", "ours-policy", "greedy", 12, 4}};
+    e.spec.deadline_s = {120.0, kInf};
+    const auto cell = [](const char* label, const char* strategy,
+                         sim::CheckpointGranularity granularity) {
+        RecoveryCell c;
+        c.label = label;
+        if (std::string(strategy) == "none") return c;  // disabled baseline
+        c.config.enabled = true;
+        c.config.strategy = strategy;
+        c.config.granularity = granularity;
+        // The stalled device's static draw and the brown-out line: deep
+        // enough below on_threshold (0.5 mJ) that short income gaps are
+        // survivable, high enough that rf-bursty's long gaps kill.
+        c.config.active_power_mw = 0.02;
+        c.death_threshold_mj = 0.3;
+        return c;
+    };
+    e.spec.recoveries = {
+        cell("none", "none", sim::CheckpointGranularity::kPerLayer),
+        cell("restart", "restart", sim::CheckpointGranularity::kPerLayer),
+        cell("ckpt-layer", "checkpoint",
+             sim::CheckpointGranularity::kPerLayer),
+        cell("ckpt-exit", "checkpoint", sim::CheckpointGranularity::kPerExit),
+        cell("ckpt-free", "checkpoint-free",
+             sim::CheckpointGranularity::kPerLayer),
+    };
+    e.spec.metrics = {"deaths",      "wasted_macs_m", "recovery_mj",
+                      "iepmj",       "processed",     "deadline_miss_pct"};
+    e.report = recovery_report;
     return e;
 }
 
@@ -695,6 +775,7 @@ void register_ablation_experiments(
     into["ablation-search"] = search_experiment;
     into["ablation-storage-deadline"] = storage_deadline_experiment;
     into["ablation-trace"] = trace_experiment;
+    into["recovery-ablation"] = recovery_experiment;
 }
 
 }  // namespace imx::exp::detail

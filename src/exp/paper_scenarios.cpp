@@ -13,6 +13,7 @@
 #include "core/trace_eval.hpp"
 #include "sim/policies/greedy.hpp"
 #include "sim/policies/registry.hpp"
+#include "sim/recovery/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -101,6 +102,40 @@ SimPatch policy_patch(const std::string& policy_name) {
     patch.dims = {{"policy", policy_name}};
     patch.apply = [](sim::SimConfig&) {};
     patch.policy = policy_name;
+    return patch;
+}
+
+SimPatch recovery_patch(const RecoveryCell& cell) {
+    // Fail at axis construction, not mid-sweep on a worker thread: trial-
+    // build the strategy so unknown names and negative costs surface here.
+    if (cell.config.enabled) {
+        (void)sim::make_recovery_strategy(cell.config.strategy, cell.config);
+    }
+    // A death-threshold override on a disabled cell could never take effect.
+    IMX_EXPECTS(cell.death_threshold_mj < 0.0 || cell.config.enabled);
+    std::string label = cell.label;
+    if (label.empty()) {
+        if (!cell.config.enabled) {
+            label = "none";
+        } else {
+            label = cell.config.strategy;
+            if (cell.config.strategy != "restart") {
+                label += "-" + sim::granularity_name(cell.config.granularity);
+            }
+        }
+    }
+    SimPatch patch;
+    patch.label = "rec-" + label;
+    patch.dims = {{"recovery", label}};
+    patch.apply = [config = cell.config,
+                   death = cell.death_threshold_mj](sim::SimConfig& cfg) {
+        // The failure model only exists on the multi-exit runtime; a
+        // checkpointed baseline sharing the cell keeps its own intrinsic
+        // checkpointing model.
+        if (cfg.mode != sim::ExecutionMode::kMultiExit) return;
+        cfg.recovery = config;
+        if (death >= 0.0) cfg.storage.death_threshold_mj = death;
+    };
     return patch;
 }
 

@@ -26,6 +26,7 @@
 #include "exp/cli.hpp"  // kDefaultBaseSeed
 #include "exp/scenario.hpp"
 #include "sim/policies/qlearning.hpp"
+#include "sim/recovery/strategy.hpp"
 
 namespace imx::exp {
 
@@ -105,6 +106,29 @@ SimPatch deadline_patch(double deadline_s);
 /// "ours" system in the cell must run. Labels the cell "pol-<name>" with
 /// dims {"policy": name}. The SimConfig itself is untouched.
 SimPatch policy_patch(const std::string& policy_name);
+
+/// One cell of the power-failure/recovery axis: a failure-model
+/// configuration plus an optional death-threshold override.
+struct RecoveryCell {
+    /// Cell label (the axis value, without the "rec-" prefix). Empty derives
+    /// one: "none" when the model is disabled, otherwise the strategy name
+    /// with a "-layer"/"-exit" granularity suffix (omitted for "restart",
+    /// whose granularity is irrelevant).
+    std::string label;
+    sim::RecoveryConfig config;
+    /// Override for energy::StorageConfig::death_threshold_mj; negative
+    /// (the default) keeps the storage config's own threshold. Setting it on
+    /// a disabled cell is a contract violation (it could never take effect).
+    double death_threshold_mj = -1.0;
+};
+
+/// Power-failure/recovery axis: patches sim::SimConfig::recovery (and
+/// optionally the storage death threshold) onto the multi-exit runtime.
+/// Checkpointed baselines in a crossed cell are left untouched — they model
+/// their own intrinsic checkpointing. The strategy name and cost parameters
+/// are validated at patch construction by trial-building the strategy.
+/// Labels the cell "rec-<label>" with dims {"recovery", <label>}.
+SimPatch recovery_patch(const RecoveryCell& cell);
 
 /// Cross product of two patch axes, in a-major order: each combination
 /// applies both patches (a's then b's), joins non-empty labels with "+",

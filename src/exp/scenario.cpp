@@ -32,6 +32,9 @@ MetricMap sim_metrics(const sim::SimResult& result) {
     m["deadline_miss_pct"] = 100.0 * result.deadline_miss_rate();
     m["harvested_mj"] = result.total_harvested_mj;
     m["consumed_mj"] = result.total_consumed_mj();
+    m["deaths"] = static_cast<double>(result.deaths);
+    m["recovery_mj"] = result.recovery_energy_mj;
+    m["wasted_macs_m"] = static_cast<double>(result.wasted_macs) / 1e6;
     return m;
 }
 

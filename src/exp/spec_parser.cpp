@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "energy/trace_registry.hpp"
+#include "sim/recovery/registry.hpp"
 #include "util/kvfile.hpp"
 
 namespace imx::exp {
@@ -316,6 +317,87 @@ SystemEntry parse_system(const std::string& origin,
     return system;
 }
 
+/// Parse a `[recovery.<label>]` section into one cell of the
+/// power-failure/recovery axis. `strategy = none` declares the explicit
+/// failure-free baseline cell; any other value must be a registered
+/// recovery-strategy name.
+RecoveryCell parse_recovery(const std::string& origin,
+                            const util::KvSection& section) {
+    RecoveryCell cell;
+    cell.label = section.name.substr(std::string("recovery.").size());
+    if (cell.label.empty()) {
+        fail(origin, section.line,
+             "[recovery.] requires a label after the dot");
+    }
+    bool saw_strategy = false;
+    for (const auto& entry : section.entries) {
+        if (entry.key == "strategy") {
+            saw_strategy = true;
+            if (entry.value == "none") {
+                cell.config.enabled = false;
+            } else {
+                cell.config.enabled = true;
+                cell.config.strategy = entry.value;
+                if (!sim::has_recovery_strategy(entry.value)) {
+                    // Reuse the registry's own diagnostic (it lists every
+                    // registered strategy).
+                    try {
+                        (void)sim::recovery_strategy_description(entry.value);
+                    } catch (const std::invalid_argument& e) {
+                        fail(origin, entry.line, e.what());
+                    }
+                }
+            }
+        } else if (entry.key == "granularity") {
+            try {
+                cell.config.granularity = sim::parse_granularity(entry.value);
+            } catch (const std::invalid_argument& e) {
+                fail(origin, entry.line, e.what());
+            }
+        } else if (entry.key == "checkpoint_mj") {
+            cell.config.checkpoint_energy_mj =
+                parse_double(origin, entry, entry.value);
+        } else if (entry.key == "restore_mj") {
+            cell.config.restore_energy_mj =
+                parse_double(origin, entry, entry.value);
+        } else if (entry.key == "restore_penalty_mj") {
+            cell.config.restore_penalty_mj =
+                parse_double(origin, entry, entry.value);
+        } else if (entry.key == "active_power_mw") {
+            cell.config.active_power_mw =
+                parse_double(origin, entry, entry.value);
+        } else if (entry.key == "death_threshold_mj") {
+            cell.death_threshold_mj = parse_double(origin, entry, entry.value);
+            if (cell.death_threshold_mj < 0.0) {
+                fail(origin, entry.line,
+                     "death_threshold_mj must be non-negative");
+            }
+        } else {
+            unknown_key(origin, section.name, entry);
+        }
+    }
+    if (!saw_strategy) {
+        fail(origin, section.line,
+             "[" + section.name +
+                 "] requires 'strategy = <name>' (or 'strategy = none')");
+    }
+    if (!cell.config.enabled && cell.death_threshold_mj >= 0.0) {
+        fail(origin, section.line,
+             "death_threshold_mj has no effect with 'strategy = none'");
+    }
+    // Trial-build so negative cost parameters fail here with a file:line
+    // diagnostic instead of at sweep expansion.
+    if (cell.config.enabled) {
+        try {
+            (void)sim::make_recovery_strategy(cell.config.strategy,
+                                              cell.config);
+        } catch (const std::invalid_argument& e) {
+            fail(origin, section.line, e.what());
+        }
+    }
+    return cell;
+}
+
 /// A single-key patch section: rejects anything but `key`, requires it.
 std::vector<double> patch_values(const std::string& origin,
                                  const util::KvSection& section,
@@ -395,6 +477,15 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
             }
             saw_deadline = true;
             spec.deadline_s = patch_values(origin, section, "deadline_s");
+        } else if (section.name.rfind("recovery.", 0) == 0) {
+            const RecoveryCell cell = parse_recovery(origin, section);
+            for (const auto& existing : spec.recoveries) {
+                if (existing.label == cell.label) {
+                    fail(origin, section.line,
+                         "duplicate recovery label '" + cell.label + "'");
+                }
+            }
+            spec.recoveries.push_back(cell);
         } else if (section.name == "patch.policy") {
             if (saw_policy) {
                 fail(origin, section.line, "duplicate [patch.policy]");
@@ -414,7 +505,8 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
             fail(origin, section.line,
                  "unknown section [" + section.name +
                      "] (expected sweep, trace, trace.<label>, system, "
-                     "patch.storage, patch.deadline, patch.policy)");
+                     "patch.storage, patch.deadline, patch.policy, "
+                     "recovery.<label>)");
         }
     }
     if (!saw_sweep) {

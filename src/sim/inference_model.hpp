@@ -7,6 +7,7 @@
 #define IMX_SIM_INFERENCE_MODEL_HPP
 
 #include <cstdint>
+#include <vector>
 
 namespace imx::sim {
 
@@ -34,6 +35,17 @@ public:
     /// (from_exit == -1 means from scratch).
     [[nodiscard]] virtual std::int64_t incremental_macs(int from_exit,
                                                         int to_exit) const = 0;
+
+    /// Per-layer breakdown of incremental_macs(from_exit, to_exit), in
+    /// execution order. Zero-cost layers may be included or omitted; the sum
+    /// must equal incremental_macs(from_exit, to_exit). The failure model
+    /// (sim/recovery/) uses these as per-layer checkpoint boundaries. The
+    /// default treats the whole advance as one opaque segment, which is
+    /// always sound.
+    [[nodiscard]] virtual std::vector<std::int64_t> segment_macs(
+        int from_exit, int to_exit) const {
+        return {incremental_macs(from_exit, to_exit)};
+    }
 
     /// Deterministic per (event_id, exit): same event re-evaluated at the
     /// same exit gives the same outcome.

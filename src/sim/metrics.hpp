@@ -30,6 +30,17 @@ struct SimResult {
     /// Inference deadline the run was simulated under (copied from
     /// SimConfig::deadline_s); infinity when the scenario had no deadline.
     double deadline_s = std::numeric_limits<double>::infinity();
+    /// Power failures (brown-outs below StorageConfig::death_threshold_mj or
+    /// failed checkpoint commits) suffered mid-inference. Always 0 when the
+    /// failure model is disabled (SimConfig::recovery.enabled == false).
+    int deaths = 0;
+    /// Energy spent purely on surviving failures: checkpoint commit writes
+    /// plus restore costs at reboot, mJ. Not part of any event's
+    /// energy_spent_mj — it is runtime overhead, not inference work.
+    double recovery_energy_mj = 0.0;
+    /// Forward progress thrown away by deaths: MACs of execution units whose
+    /// results did not survive a failure and had to be recomputed.
+    std::int64_t wasted_macs = 0;
 
     [[nodiscard]] int total_events() const {
         return static_cast<int>(records.size());

@@ -1,0 +1,156 @@
+#include "sim/recovery/registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace imx::sim {
+
+namespace {
+
+class RestartStrategy final : public RecoveryStrategy {
+public:
+    double commit_cost_mj() const override { return 0.0; }
+    int surviving_units(int) const override { return 0; }
+    double restore_cost_mj(int) const override { return 0.0; }
+};
+
+class CheckpointStrategy final : public RecoveryStrategy {
+public:
+    explicit CheckpointStrategy(const RecoveryConfig& config)
+        : write_mj_(config.checkpoint_energy_mj),
+          restore_mj_(config.restore_energy_mj) {}
+    double commit_cost_mj() const override { return write_mj_; }
+    int surviving_units(int committed) const override { return committed; }
+    double restore_cost_mj(int) const override { return restore_mj_; }
+
+private:
+    double write_mj_;
+    double restore_mj_;
+};
+
+class CheckpointFreeStrategy final : public RecoveryStrategy {
+public:
+    explicit CheckpointFreeStrategy(const RecoveryConfig& config)
+        : penalty_mj_(config.restore_penalty_mj) {}
+    double commit_cost_mj() const override { return 0.0; }
+    int surviving_units(int committed) const override { return committed; }
+    double restore_cost_mj(int surviving) const override {
+        return penalty_mj_ * surviving;
+    }
+
+private:
+    double penalty_mj_;
+};
+
+struct RegistryEntry {
+    RecoveryFactory factory;
+    std::string description;
+};
+
+std::mutex& registry_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+/// The registry map. An ordered map so recovery_strategy_names() is sorted
+/// without a separate pass. Built-ins are seeded on first use — no
+/// static-init-order or dead-translation-unit hazards.
+std::map<std::string, RegistryEntry>& registry_locked() {
+    static std::map<std::string, RegistryEntry> entries = [] {
+        std::map<std::string, RegistryEntry> builtins;
+        builtins["restart"] = {
+            [](const RecoveryConfig&) {
+                return std::make_unique<RestartStrategy>();
+            },
+            "lose all in-flight progress on a power failure (free)"};
+        builtins["checkpoint"] = {
+            [](const RecoveryConfig& config) {
+                return std::make_unique<CheckpointStrategy>(config);
+            },
+            "NVM checkpoint per unit: checkpoint_mj per commit, restore_mj "
+            "at reboot"};
+        builtins["checkpoint-free"] = {
+            [](const RecoveryConfig& config) {
+                return std::make_unique<CheckpointFreeStrategy>(config);
+            },
+            "progress preserved at zero write cost; restore_penalty_mj per "
+            "surviving unit at reboot"};
+        return builtins;
+    }();
+    return entries;
+}
+
+[[noreturn]] void unknown_strategy(
+    const std::string& name,
+    const std::map<std::string, RegistryEntry>& entries) {
+    std::string known;
+    for (const auto& [key, unused] : entries) {
+        (void)unused;
+        if (!known.empty()) known += ", ";
+        known += key;
+    }
+    throw std::invalid_argument("unknown recovery strategy '" + name +
+                                "' (registered: " + known + ")");
+}
+
+}  // namespace
+
+std::unique_ptr<RecoveryStrategy> make_recovery_strategy(
+    const std::string& name, const RecoveryConfig& config) {
+    // Cost parameters are validated here, not per strategy: a negative cost
+    // would silently *refund* energy on every commit or reboot.
+    if (config.checkpoint_energy_mj < 0.0 || config.restore_energy_mj < 0.0 ||
+        config.restore_penalty_mj < 0.0 || config.active_power_mw < 0.0) {
+        throw std::invalid_argument(
+            "recovery cost parameters must be non-negative");
+    }
+    RecoveryFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex());
+        const auto& entries = registry_locked();
+        const auto it = entries.find(name);
+        if (it == entries.end()) unknown_strategy(name, entries);
+        factory = it->second.factory;
+    }
+    auto strategy = factory(config);
+    IMX_EXPECTS(strategy != nullptr);
+    return strategy;
+}
+
+void register_recovery_strategy(const std::string& name,
+                                RecoveryFactory factory,
+                                const std::string& description) {
+    IMX_EXPECTS(!name.empty());
+    IMX_EXPECTS(factory != nullptr);
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry_locked()[name] = {std::move(factory), description};
+}
+
+bool has_recovery_strategy(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    return registry_locked().count(name) > 0;
+}
+
+std::vector<std::string> recovery_strategy_names() {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    std::vector<std::string> names;
+    for (const auto& [key, unused] : registry_locked()) {
+        (void)unused;
+        names.push_back(key);
+    }
+    return names;
+}
+
+std::string recovery_strategy_description(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& entries = registry_locked();
+    const auto it = entries.find(name);
+    if (it == entries.end()) unknown_strategy(name, entries);
+    return it->second.description;
+}
+
+}  // namespace imx::sim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
+#include "sim/recovery/registry.hpp"
 #include "util/contracts.hpp"
 #include "util/stats.hpp"
 
@@ -27,6 +29,11 @@ struct Job {
     double energy_spent_mj = 0.0;
     std::int64_t macs_done = 0;
     int hops = 0;
+    // Recovery-mode bookkeeping (SimConfig::recovery.enabled only).
+    std::vector<std::int64_t> units;  ///< commit units of the current plan
+    int units_done = 0;  ///< units of the current plan committed so far
+    int target_exit = -1;  ///< exit the current plan executes toward
+    bool dead = false;  ///< powered off after a mid-inference death
 };
 
 }  // namespace
@@ -36,6 +43,14 @@ Simulator::Simulator(const energy::PowerTrace& trace, const SimConfig& config)
     IMX_EXPECTS(config.dt_s > 0.0);
     IMX_EXPECTS(config.charge_rate_ema_alpha > 0.0 &&
                 config.charge_rate_ema_alpha <= 1.0);
+    if (config.recovery.enabled) {
+        // The failure model replaces the multi-exit execution path only; a
+        // reboot waits for can_turn_on(), so the on threshold must sit at or
+        // above the death threshold or the device would re-die instantly.
+        IMX_EXPECTS(config.mode == ExecutionMode::kMultiExit);
+        IMX_EXPECTS(config.storage.on_threshold_mj >=
+                    config.storage.death_threshold_mj);
+    }
 }
 
 SimResult Simulator::run(const std::vector<Event>& events,
@@ -52,6 +67,14 @@ SimResult Simulator::run(const std::vector<Event>& events,
     energy::EnergyStorage storage(config_.storage);
     util::Ema charge_rate(config_.charge_rate_ema_alpha);
     charge_rate.update(0.0);
+
+    // Failure model: constructed only when enabled, so the historical
+    // execution path below stays untouched (and bit-identical) by default.
+    std::unique_ptr<RecoveryStrategy> strategy;
+    if (config_.recovery.enabled) {
+        strategy =
+            make_recovery_strategy(config_.recovery.strategy, config_.recovery);
+    }
 
     SimResult result;
     result.records.resize(events.size());
@@ -103,6 +126,63 @@ SimResult Simulator::run(const std::vector<Event>& events,
         busy = false;
     };
 
+    // -- Recovery-mode helpers (used only when a strategy is constructed) --
+
+    // A death: wasted progress is whatever the strategy does not preserve
+    // (plus the in-flight unit on a failed checkpoint commit). macs_done and
+    // energy_spent_mj are *not* rolled back — they record work actually
+    // executed, including work that later has to be redone.
+    auto die = [&](SimResult& res, bool lose_inflight_unit) {
+        ++res.deaths;
+        if (lose_inflight_unit) {
+            res.wasted_macs += job.units[static_cast<std::size_t>(job.units_done)];
+        }
+        const int surviving = strategy->surviving_units(job.units_done);
+        IMX_EXPECTS(surviving >= 0 && surviving <= job.units_done);
+        for (int u = surviving; u < job.units_done; ++u) {
+            res.wasted_macs += job.units[static_cast<std::size_t>(u)];
+        }
+        job.units_done = surviving;
+        job.executing = false;
+        job.dead = true;
+    };
+
+    // Pre-paid atomic unit start: the unit begins only once its full compute
+    // energy (plus the one-off wakeup on the very first start) is buffered,
+    // so execution itself can never brown out. The gate also requires the
+    // checkpoint commit write to be affordable — a real runtime would not
+    // start work it cannot persist — but the commit itself is charged at
+    // completion, so income lost to leakage while the unit runs can still
+    // (rarely) fail the write and kill the run.
+    auto try_start_unit = [&](double now) {
+        IMX_EXPECTS(job.units_done <
+                    static_cast<int>(job.units.size()));
+        const std::int64_t unit_macs =
+            job.units[static_cast<std::size_t>(job.units_done)];
+        const bool first_start = job.inference_start_s < 0.0;
+        const double cost =
+            macs_energy_mj(energy_state(now), unit_macs) +
+            (first_start ? config_.mcu.wakeup_energy_mj : 0.0);
+        if (storage.level() < cost + strategy->commit_cost_mj()) return false;
+        if (!storage.try_consume(cost)) return false;
+        job.energy_spent_mj += cost;
+        job.macs_done += unit_macs;
+        if (first_start) {
+            job.inference_start_s = std::max(now, job.arrival_s);
+            job.hops = 1;
+            job.exec_finish_s = job.inference_start_s +
+                                config_.mcu.wakeup_time_s +
+                                device.compute_time(unit_macs);
+        } else {
+            // Seamless after a unit that completed this step (exec_finish_s
+            // is still ahead of now); a fresh start after a stall or reboot.
+            job.exec_finish_s = std::max(now, job.exec_finish_s) +
+                                device.compute_time(unit_macs);
+        }
+        job.executing = true;
+        return true;
+    };
+
     const double duration = trace_->duration();
     for (double now = 0.0; now < duration; now += dt) {
         // 1. Harvest this step; track the net charging rate the runtime sees.
@@ -148,6 +228,111 @@ SimResult Simulator::run(const std::vector<Event>& events,
         }
 
         if (config_.mode == ExecutionMode::kMultiExit) {
+            // Recovery-enabled execution (pre-paid atomic units with
+            // death/reboot). Entirely separate from the historical path
+            // below, which stays bit-identical when the model is disabled.
+            if (strategy) {
+                // r1. Dead: recharge to the turn-on threshold, then reboot —
+                // wakeup plus the strategy's restore cost — and fall through
+                // to resume within this same step.
+                if (job.dead) {
+                    if (!storage.can_turn_on()) continue;
+                    const double restore =
+                        strategy->restore_cost_mj(job.units_done);
+                    if (!storage.try_consume(config_.mcu.wakeup_energy_mj +
+                                             restore)) {
+                        continue;
+                    }
+                    job.energy_spent_mj += config_.mcu.wakeup_energy_mj;
+                    result.recovery_energy_mj += restore;
+                    job.dead = false;
+                }
+
+                // r0. Complete the in-flight unit: pay the checkpoint commit
+                // (a failed commit write is itself a death that loses the
+                // unit), then either evaluate/hop/finish at the end of the
+                // plan or chain straight into the next unit.
+                if (job.executing) {
+                    if (now + dt >= job.exec_finish_s) {
+                        job.executing = false;
+                        const double commit = strategy->commit_cost_mj();
+                        if (!storage.try_consume(commit)) {
+                            die(result, /*lose_inflight_unit=*/true);
+                            continue;
+                        }
+                        result.recovery_energy_mj += commit;
+                        ++job.units_done;
+                        if (job.units_done ==
+                            static_cast<int>(job.units.size())) {
+                            job.reached_exit = job.target_exit;
+                            const ExitOutcome outcome = model.evaluate(
+                                job.event_id, job.reached_exit);
+                            const int next_exit = job.reached_exit + 1;
+                            bool advanced = false;
+                            if (next_exit < model.num_exits() &&
+                                policy.continue_inference(
+                                    energy_state(now), model,
+                                    job.reached_exit, outcome.confidence)) {
+                                // Hop: plan the incremental advance. As in
+                                // the historical path the hop is
+                                // opportunistic — if even its first unit is
+                                // unaffordable right now, keep the result.
+                                job.units = recovery_units(
+                                    model, job.reached_exit, next_exit,
+                                    config_.recovery.granularity);
+                                job.units_done = 0;
+                                job.target_exit = next_exit;
+                                if (try_start_unit(now)) {
+                                    ++job.hops;
+                                    advanced = true;
+                                }
+                            }
+                            if (!advanced) {
+                                finish_event(record, outcome,
+                                             job.exec_finish_s);
+                            }
+                        } else {
+                            (void)try_start_unit(now);
+                        }
+                    }
+                    continue;
+                }
+
+                // r2. Not yet committed: ask the policy, then plan the
+                // committed exit's execution as commit units.
+                if (!job.committed) {
+                    const EnergyState s = energy_state(now);
+                    const int choice = policy.select_exit(s, model);
+                    if (choice >= 0) {
+                        IMX_EXPECTS(choice < model.num_exits());
+                        job.committed = true;
+                        job.committed_exit = choice;
+                        job.state_at_selection = s;
+                        job.target_exit = choice;
+                        job.units = recovery_units(
+                            model, -1, choice, config_.recovery.granularity);
+                        job.units_done = 0;
+                    }
+                }
+                if (job.committed) {
+                    // r3. Stalled mid-inference: the powered device draws
+                    // active_power_mw while waiting to afford its next unit,
+                    // and dies if the buffer sags below the death threshold.
+                    // Before the first unit the device is still asleep, as in
+                    // the historical wait path — no draw, no death.
+                    if (job.inference_start_s >= 0.0) {
+                        storage.drain(config_.recovery.active_power_mw * dt);
+                        if (storage.below_death_threshold()) {
+                            die(result, /*lose_inflight_unit=*/false);
+                            continue;
+                        }
+                    }
+                    // r4. Start the next unit once it is affordable.
+                    (void)try_start_unit(now);
+                }
+                continue;
+            }
+
             // 3a. Finish an atomic execution segment.
             if (job.executing) {
                 if (now + dt >= job.exec_finish_s) {

@@ -30,6 +30,7 @@
 #include "sim/inference_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/policy.hpp"
+#include "sim/recovery/strategy.hpp"
 
 namespace imx::sim {
 
@@ -52,6 +53,13 @@ struct SimConfig {
     /// frees the device for later arrivals. Policies see the remaining slack
     /// as EnergyState::deadline_slack_s. Default: no deadline.
     double deadline_s = std::numeric_limits<double>::infinity();
+    /// Power-failure model (sim/recovery/). Disabled by default, in which
+    /// case the simulator's behaviour and output are bitwise identical to
+    /// builds that predate the failure model. When enabled (kMultiExit mode
+    /// only), committed inferences execute as pre-paid atomic units, the run
+    /// can die below StorageConfig::death_threshold_mj while stalled between
+    /// units, and the named recovery strategy decides what survives a reboot.
+    RecoveryConfig recovery{};
 };
 
 class Simulator {

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
+#include <vector>
 
 #include "util/contracts.hpp"
 #include "util/csv.hpp"
@@ -229,6 +231,110 @@ TEST(Stats, PearsonPerfectCorrelation) {
     EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
     for (double& y : ys) y = -y;
     EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsSingleSampleIsDegenerateButDefined) {
+    RunningStats stats;
+    stats.add(3.25);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_EQ(stats.mean(), 3.25);
+    EXPECT_EQ(stats.min(), 3.25);
+    EXPECT_EQ(stats.max(), 3.25);
+    EXPECT_EQ(stats.variance(), 0.0);
+    // Bessel's correction is undefined at n = 1; the accumulator reports 0
+    // rather than dividing by zero, so downstream confidence intervals
+    // collapse to a point instead of going NaN.
+    EXPECT_EQ(stats.sample_variance(), 0.0);
+    EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Stats, RunningStatsEmptyAccessorsAreZero) {
+    const RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_EQ(stats.min(), 0.0);
+    EXPECT_EQ(stats.max(), 0.0);
+    EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(Stats, RunningStatsPropagatesNanAndInf) {
+    RunningStats with_nan;
+    with_nan.add(1.0);
+    with_nan.add(std::nan(""));
+    // A NaN sample must poison the moments, not vanish silently.
+    EXPECT_TRUE(std::isnan(with_nan.mean()));
+    EXPECT_TRUE(std::isnan(with_nan.variance()));
+    EXPECT_EQ(with_nan.count(), 2u);
+
+    RunningStats with_inf;
+    with_inf.add(1.0);
+    with_inf.add(std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(std::isinf(with_inf.mean()));
+    EXPECT_EQ(with_inf.max(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(with_inf.min(), 1.0);
+}
+
+TEST(Stats, RunningStatsMergeWithEmptyIsIdentityBitwise) {
+    RunningStats stats;
+    for (const double v : {0.5, -1.25, 3.0, 7.75}) stats.add(v);
+    const double mean_before = stats.mean();
+    const double var_before = stats.variance();
+
+    RunningStats empty;
+    stats.merge(empty);  // right identity
+    EXPECT_EQ(stats.count(), 4u);
+    EXPECT_EQ(stats.mean(), mean_before);
+    EXPECT_EQ(stats.variance(), var_before);
+
+    RunningStats other;  // left identity: empty.merge(x) == x
+    other.merge(stats);
+    EXPECT_EQ(other.count(), 4u);
+    EXPECT_EQ(other.mean(), mean_before);
+    EXPECT_EQ(other.variance(), var_before);
+}
+
+TEST(Stats, RunningStatsMergeIsAssociativeBitwiseOnBinaryFractions) {
+    // Welford's parallel merge is NOT bitwise-associative for arbitrary
+    // doubles (the correction term rounds differently under different
+    // groupings). On samples whose partial means and M2 terms are exactly
+    // representable binary fractions, every intermediate is exact, so any
+    // merge tree must agree bit for bit. This pins the merge arithmetic:
+    // a regression to a naive (and inexact-on-exact-input) formula fails.
+    // The odd integers 1..15 are chosen so every intermediate — running
+    // means, merge deltas, delta*n_b/n corrections, M2 terms — is a small
+    // integer under every grouping below (hand-checked).
+    const std::vector<double> chunk_a = {1.0, 3.0};
+    const std::vector<double> chunk_b = {5.0, 7.0};
+    const std::vector<double> chunk_c = {9.0, 11.0, 13.0, 15.0};
+    const auto fill = [](const std::vector<double>& values) {
+        RunningStats stats;
+        for (const double v : values) stats.add(v);
+        return stats;
+    };
+
+    // (a + b) + c
+    RunningStats left = fill(chunk_a);
+    left.merge(fill(chunk_b));
+    left.merge(fill(chunk_c));
+    // a + (b + c)
+    RunningStats bc = fill(chunk_b);
+    bc.merge(fill(chunk_c));
+    RunningStats right = fill(chunk_a);
+    right.merge(bc);
+    // The single-stream fold is the reference.
+    RunningStats serial;
+    for (const auto* chunk : {&chunk_a, &chunk_b, &chunk_c}) {
+        for (const double v : *chunk) serial.add(v);
+    }
+
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_EQ(left.mean(), right.mean());
+    EXPECT_EQ(left.variance(), right.variance());
+    EXPECT_EQ(left.mean(), serial.mean());
+    EXPECT_EQ(left.variance(), serial.variance());
+    EXPECT_EQ(left.min(), serial.min());
+    EXPECT_EQ(left.max(), serial.max());
 }
 
 TEST(Stats, EmaConvergesToConstant) {
