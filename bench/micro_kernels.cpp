@@ -1,10 +1,22 @@
 // Microbenchmarks (google-benchmark): NN kernels and quantization, the
 // per-inference compute the MCU model abstracts.
+//
+// All layer benches route through the dispatched kernel layer
+// (src/nn/kernels/), so items/sec is MACs/sec for the *active* backend.
+// Pass `--kernel scalar|avx2` (before any --benchmark_* flag) to pin the
+// backend; the default is the IMX_KERNEL / CPU-detection dispatch. A
+// per-kernel invocation/MAC counter report prints after the run.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/multi_exit_spec.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/exit_graph.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "nn/linear.hpp"
 #include "nn/quantize.hpp"
 #include "util/rng.hpp"
@@ -31,6 +43,8 @@ void BM_Conv2dForward(benchmark::State& state) {
         benchmark::DoNotOptimize(conv.forward(x));
     }
     state.SetItemsProcessed(state.iterations() * conv.macs(x.shape()));
+    state.SetLabel(std::string("macs/s, kernel=") +
+                   to_string(nn::kernels::active_backend()));
 }
 BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(16);
 
@@ -43,6 +57,10 @@ void BM_Conv2dBackward(benchmark::State& state) {
     for (auto _ : state) {
         benchmark::DoNotOptimize(conv.backward(g));
     }
+    // Backward computes grad_input and grad_weight: ~2x the forward MACs.
+    state.SetItemsProcessed(state.iterations() * 2 * conv.macs(x.shape()));
+    state.SetLabel(std::string("macs/s, kernel=") +
+                   to_string(nn::kernels::active_backend()));
 }
 BENCHMARK(BM_Conv2dBackward);
 
@@ -55,6 +73,8 @@ void BM_LinearForward(benchmark::State& state) {
         benchmark::DoNotOptimize(fc.forward(x));
     }
     state.SetItemsProcessed(state.iterations() * fc.macs(x.shape()));
+    state.SetLabel(std::string("macs/s, kernel=") +
+                   to_string(nn::kernels::active_backend()));
 }
 BENCHMARK(BM_LinearForward)->Arg(64)->Arg(256);
 
@@ -66,6 +86,8 @@ void BM_PaperGraphFullForward(benchmark::State& state) {
         benchmark::DoNotOptimize(graph.forward_all(x));
     }
     state.SetItemsProcessed(state.iterations() * graph.total_macs());
+    state.SetLabel(std::string("macs/s, kernel=") +
+                   to_string(nn::kernels::active_backend()));
 }
 BENCHMARK(BM_PaperGraphFullForward);
 
@@ -77,6 +99,8 @@ void BM_PaperGraphExit1Only(benchmark::State& state) {
         benchmark::DoNotOptimize(graph.forward_to_exit(x, 0));
     }
     state.SetItemsProcessed(state.iterations() * graph.exit_macs(0));
+    state.SetLabel(std::string("macs/s, kernel=") +
+                   to_string(nn::kernels::active_backend()));
 }
 BENCHMARK(BM_PaperGraphExit1Only);
 
@@ -107,4 +131,33 @@ BENCHMARK(BM_IntConvReference);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Consume --kernel <scalar|avx2> (or --kernel=<...>) before handing the
+    // rest to google-benchmark, which rejects flags it does not know.
+    std::vector<char*> passthrough;
+    passthrough.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+            nn::kernels::force_backend(nn::kernels::parse_backend(argv[++i]));
+        } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+            nn::kernels::force_backend(nn::kernels::parse_backend(argv[i] + 9));
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+        return 1;
+    }
+    std::printf("active kernel backend: %s\n",
+                to_string(nn::kernels::active_backend()));
+    nn::kernels::counters_reset();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    std::printf("%s",
+                nn::kernels::counters_report(nn::kernels::counters_snapshot())
+                    .c_str());
+    return 0;
+}

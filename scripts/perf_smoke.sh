@@ -23,6 +23,9 @@ if [ ! -x "$SWEEP" ]; then
 fi
 
 commit=${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD 2>/dev/null || echo unknown)}
+# Recorded so scripts/perf_trend.py can normalize rates per core when the
+# baseline and the current run come from differently sized hosts.
+host_cores=$(nproc 2>/dev/null || echo 1)
 entries=""
 
 run_case() {
@@ -35,11 +38,20 @@ run_case() {
         echo "error: could not count scenarios for $label" >&2
         exit 1
     fi
-    local t0 t1 wall rate
-    t0=$(date +%s.%N)
-    "$SWEEP" "$@" > /dev/null
-    t1=$(date +%s.%N)
-    wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.3f", b - a}')
+    # Best of 3: on a shared CI runner the minimum wall time is the least
+    # noisy estimator of the achievable rate (scripts/perf_trend.py gates
+    # on these numbers).
+    local t0 t1 wall="" cand rate rep
+    for rep in 1 2 3; do
+        t0=$(date +%s.%N)
+        "$SWEEP" "$@" > /dev/null
+        t1=$(date +%s.%N)
+        cand=$(awk -v a="$t0" -v b="$t1" 'BEGIN {printf "%.3f", b - a}')
+        if [ -z "$wall" ] || \
+           awk -v a="$cand" -v b="$wall" 'BEGIN {exit !(a < b)}'; then
+            wall=$cand
+        fi
+    done
     rate=$(awk -v s="$scenarios" -v w="$wall" \
                'BEGIN {printf "%.3f", (w > 0 ? s / w : 0)}')
     echo "  $label: ${wall} s for $scenarios scenario(s) -> $rate/s"
@@ -66,6 +78,6 @@ run_case "fig5-iepmj shard 0/2 (--quick --replicas 2 --shard 0/2 --journal)" \
          fig5-iepmj --quick --replicas 2 --shard 0/2 \
          --journal "$BUILD_DIR/perf_shard0.jsonl"
 
-printf '{\n  "bench": "imx_sweep perf smoke",\n  "commit": "%s",\n  "results": [%s\n  ]\n}\n' \
-       "$commit" "$entries" > "$OUT"
+printf '{\n  "bench": "imx_sweep perf smoke",\n  "commit": "%s",\n  "host_cores": %s,\n  "results": [%s\n  ]\n}\n' \
+       "$commit" "$host_cores" "$entries" > "$OUT"
 echo "wrote $OUT"

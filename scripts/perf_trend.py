@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Perf trend gate for the Release perf-smoke lane.
+
+Compares a freshly produced BENCH_sweep.json (scripts/perf_smoke.sh) against
+the committed baseline (scripts/perf_baseline.json) and fails when any grid's
+scenarios/sec drops by more than --factor (default 2.0: the smoke numbers are
+trend lines, not microbenchmarks, so only a halving is actionable signal).
+
+Rates are normalized per host core (the ``host_cores`` field each file
+carries) so a baseline captured on a 1-core container and a current run on a
+wider CI runner stay comparable. A grid present in the baseline but missing
+from the current run is a failure too — silently dropping a grid would hide
+its regressions. New grids pass with a note.
+
+After an intentional perf change, refresh the baseline with:
+    scripts/perf_smoke.sh build BENCH_sweep.json
+    python3 scripts/perf_trend.py --update-baseline
+and commit the updated scripts/perf_baseline.json.
+
+Stdlib only; exit code 0 = gate passed, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
+
+
+def load_rates(path):
+    """Return (document, {grid: per-core scenarios/sec})."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    cores = max(1, int(doc.get("host_cores", 1)))
+    rates = {}
+    for row in doc.get("results", []):
+        rates[row["grid"]] = float(row["scenarios_per_sec"]) / cores
+    if not rates:
+        raise ValueError(f"{path}: no results entries")
+    return doc, rates
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when BENCH_sweep.json regresses vs the baseline."
+    )
+    parser.add_argument(
+        "--current",
+        default="BENCH_sweep.json",
+        help="fresh perf-smoke output (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when baseline/current exceeds this (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy --current over --baseline and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.factor <= 1.0:
+        print(f"error: --factor must be > 1.0, got {args.factor}",
+              file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        try:
+            load_rates(args.current)  # refuse to install a malformed baseline
+        except (OSError, ValueError, KeyError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    try:
+        base_doc, base = load_rates(args.baseline)
+        cur_doc, cur = load_rates(args.current)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    print(
+        f"perf trend gate: fail below 1/{args.factor:g}x of baseline "
+        f"(per-core rates; baseline host_cores="
+        f"{base_doc.get('host_cores', 1)} @ "
+        f"{base_doc.get('commit', 'unknown')[:12]}, current host_cores="
+        f"{cur_doc.get('host_cores', 1)})"
+    )
+    failures = []
+    width = max(len(g) for g in set(base) | set(cur))
+    for grid in sorted(base):
+        if grid not in cur:
+            failures.append(f"grid missing from current run: {grid!r}")
+            print(f"  {grid:<{width}}  MISSING from current run")
+            continue
+        speedup = cur[grid] / base[grid]
+        regressed = speedup < 1.0 / args.factor
+        verdict = "REGRESSION" if regressed else "ok"
+        print(
+            f"  {grid:<{width}}  baseline {base[grid]:10.1f}/s  "
+            f"current {cur[grid]:10.1f}/s  x{speedup:.2f}  {verdict}"
+        )
+        if regressed:
+            failures.append(
+                f"{grid!r}: {cur[grid]:.1f}/s is below "
+                f"{base[grid] / args.factor:.1f}/s "
+                f"(baseline {base[grid]:.1f}/s / factor {args.factor:g})"
+            )
+    for grid in sorted(set(cur) - set(base)):
+        print(f"  {grid:<{width}}  NEW grid ({cur[grid]:.1f}/s) — "
+              "add it to the baseline with --update-baseline")
+
+    if failures:
+        print("perf trend gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("perf trend gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,10 @@
 #include "core/accuracy_model.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
 
 #include "core/multi_exit_spec.hpp"
 #include "util/contracts.hpp"
@@ -10,6 +14,31 @@
 namespace imx::core {
 
 namespace {
+
+/// Process-wide calibrate() cache. The pattern search is deterministic in
+/// its inputs (24 restarts x 400 iterations, fixed seed), so two models
+/// with the same calibration key always fit the same params; sweeps that
+/// build one setup per scenario hit this cache after the first scenario.
+struct CalibrationResult {
+    SensitivityParams params;
+    double residual = 0.0;
+};
+
+std::mutex& calibration_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+std::unordered_map<std::string, CalibrationResult>& calibration_cache() {
+    static std::unordered_map<std::string, CalibrationResult> cache;
+    return cache;
+}
+
+void append_double_bits(std::string& out, double v) {
+    char buf[sizeof(double)];
+    std::memcpy(buf, &v, sizeof(double));
+    out.append(buf, sizeof(double));
+}
 
 /// Normalized quantization harshness: q(8)=0, q(1)=1, convex in between.
 double quant_harshness(int bits) {
@@ -95,13 +124,67 @@ double AccuracyModel::accuracy(const compress::Policy& policy, int exit) const {
 
 std::vector<double> AccuracyModel::exit_accuracy(
     const compress::Policy& policy) const {
+    // Bit-exact key over every per-layer decision.
+    std::string key;
+    key.reserve(policy.size() * (sizeof(double) + 2 * sizeof(int)));
+    for (std::size_t i = 0; i < policy.size(); ++i) {
+        const compress::LayerPolicy& lp = policy[i];
+        append_double_bits(key, lp.preserve_ratio);
+        char buf[2 * sizeof(int)];
+        std::memcpy(buf, &lp.weight_bits, sizeof(int));
+        std::memcpy(buf + sizeof(int), &lp.activation_bits, sizeof(int));
+        key.append(buf, sizeof(buf));
+    }
+    {
+        const std::lock_guard<std::mutex> lock(memo_mutex_);
+        const auto it = accuracy_memo_.find(key);
+        if (it != accuracy_memo_.end()) return it->second;
+    }
     std::vector<double> out;
     out.reserve(static_cast<std::size_t>(desc_->num_exits));
     for (int e = 0; e < desc_->num_exits; ++e) out.push_back(accuracy(policy, e));
+    {
+        // Bounded: searches stream thousands of distinct candidates; drop
+        // the whole map rather than grow without limit.
+        constexpr std::size_t kMemoCapacity = 1 << 14;
+        const std::lock_guard<std::mutex> lock(memo_mutex_);
+        if (accuracy_memo_.size() >= kMemoCapacity) accuracy_memo_.clear();
+        accuracy_memo_.emplace(std::move(key), out);
+    }
     return out;
 }
 
+std::string AccuracyModel::calibration_key() const {
+    std::ostringstream os;
+    os << desc_->num_exits << '|' << desc_->num_layers() << '|';
+    for (const std::vector<int>& path : desc_->exit_paths) {
+        for (const int l : path) os << l << ',';
+        os << ';';
+    }
+    os << '|';
+    for (const compress::LayerDesc& l : desc_->layers) {
+        os << (l.kind == compress::LayerKind::kFc ? 'f' : 'c');
+    }
+    std::string key = os.str();
+    append_double_bits(key, chance_);
+    for (const double b : base_) append_double_bits(key, b);
+    key.push_back('|');
+    for (const double d : depth_rank_) append_double_bits(key, d);
+    return key;
+}
+
 void AccuracyModel::calibrate() {
+    const std::string cache_key = calibration_key();
+    {
+        const std::lock_guard<std::mutex> lock(calibration_mutex());
+        const auto it = calibration_cache().find(cache_key);
+        if (it != calibration_cache().end()) {
+            params_ = it->second.params;
+            residual_ = it->second.residual;
+            return;
+        }
+    }
+
     // Anchors: the Fig. 1b uniform and nonuniform accuracies under the
     // corresponding deterministic policies for this network family.
     const compress::Policy uniform = uniform_baseline_policy();
@@ -181,6 +264,11 @@ void AccuracyModel::calibrate() {
     }
     params_ = best;
     residual_ = std::sqrt(best_loss / 6.0);
+    {
+        const std::lock_guard<std::mutex> lock(calibration_mutex());
+        calibration_cache().emplace(cache_key,
+                                    CalibrationResult{params_, residual_});
+    }
 }
 
 }  // namespace imx::core

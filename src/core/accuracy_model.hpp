@@ -20,6 +20,9 @@
 #define IMX_CORE_ACCURACY_MODEL_HPP
 
 #include <array>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "compress/network_desc.hpp"
@@ -79,6 +82,9 @@ private:
     void calibrate();
     [[nodiscard]] double survival(const compress::Policy& policy, int exit,
                                   const SensitivityParams& p) const;
+    /// Exact (bit-level) encoding of every input calibrate() depends on;
+    /// identical keys guarantee identical fitted params.
+    [[nodiscard]] std::string calibration_key() const;
 
     const compress::NetworkDesc* desc_;
     std::vector<double> base_;
@@ -86,6 +92,15 @@ private:
     double chance_ = 10.0;  // 10-class chance level, %
     SensitivityParams params_{};
     double residual_ = 0.0;
+
+    // Bounded policy -> per-exit-accuracies memo. The pipeline and the
+    // search evaluators repeatedly score the same policies; hits return the
+    // exact vector the miss computed, so results are unchanged. Mutable +
+    // mutex keeps the public const API thread-safe (setups are shared
+    // across sweep workers). Note the mutex makes AccuracyModel
+    // non-copyable; all users construct it in place.
+    mutable std::mutex memo_mutex_;
+    mutable std::unordered_map<std::string, std::vector<double>> accuracy_memo_;
 };
 
 }  // namespace imx::core

@@ -37,6 +37,47 @@ OracleInferenceModel::OracleInferenceModel(
                 l, compress::layer_macs(desc, policy, l));
         }
     }
+
+    // Precompute every (from, to) hop once; the simulator queries these on
+    // each scheduling decision, and the set-difference walk is O(path^2).
+    const int num_e = desc.num_exits;
+    incremental_table_.assign(static_cast<std::size_t>(num_e) + 1,
+                              std::vector<std::int64_t>(
+                                  static_cast<std::size_t>(num_e), 0));
+    segment_table_.assign(
+        static_cast<std::size_t>(num_e) + 1,
+        std::vector<std::vector<std::int64_t>>(
+            static_cast<std::size_t>(num_e)));
+    for (int from = -1; from < num_e; ++from) {
+        for (int to = from + 1; to < num_e; ++to) {
+            const auto row = static_cast<std::size_t>(from + 1);
+            const auto col = static_cast<std::size_t>(to);
+            std::int64_t total = 0;
+            std::vector<std::int64_t> segments;
+            for (const auto& [layer, macs] : path_macs_[col]) {
+                bool already_run = false;
+                if (from >= 0) {
+                    const auto& from_path =
+                        path_macs_[static_cast<std::size_t>(from)];
+                    already_run = std::any_of(
+                        from_path.begin(), from_path.end(),
+                        [layer = layer](const auto& p) {
+                            return p.first == layer;
+                        });
+                }
+                if (!already_run) {
+                    total += macs;
+                    segments.push_back(macs);
+                }
+            }
+            if (segments.empty()) segments.push_back(0);
+            // Cold start reports the full per-exit cost (which includes
+            // shared-layer accounting the path walk cannot see).
+            incremental_table_[row][col] =
+                from < 0 ? exit_macs_[col] : total;
+            segment_table_[row][col] = std::move(segments);
+        }
+    }
 }
 
 int OracleInferenceModel::num_exits() const {
@@ -51,45 +92,27 @@ std::int64_t OracleInferenceModel::exit_macs(int exit) const {
 std::int64_t OracleInferenceModel::incremental_macs(int from_exit,
                                                     int to_exit) const {
     IMX_EXPECTS(to_exit > from_exit && to_exit < num_exits());
-    if (from_exit < 0) return exit_macs(to_exit);
-    // Layers on to_exit's path that from_exit's path did not execute.
-    const auto& from_path = path_macs_[static_cast<std::size_t>(from_exit)];
-    std::int64_t total = 0;
-    for (const auto& [layer, macs] : path_macs_[static_cast<std::size_t>(to_exit)]) {
-        const bool already_run =
-            std::any_of(from_path.begin(), from_path.end(),
-                        [layer](const auto& p) { return p.first == layer; });
-        if (!already_run) total += macs;
-    }
-    return total;
+    IMX_EXPECTS(from_exit >= -1);
+    return incremental_table_[static_cast<std::size_t>(from_exit + 1)]
+                             [static_cast<std::size_t>(to_exit)];
 }
 
 std::vector<std::int64_t> OracleInferenceModel::segment_macs(
     int from_exit, int to_exit) const {
     IMX_EXPECTS(to_exit > from_exit && to_exit < num_exits());
-    // Same layer walk as incremental_macs, but each new layer is its own
-    // segment (in path order) instead of being summed.
-    std::vector<std::int64_t> segments;
-    for (const auto& [layer, macs] :
-         path_macs_[static_cast<std::size_t>(to_exit)]) {
-        bool already_run = false;
-        if (from_exit >= 0) {
-            const auto& from_path =
-                path_macs_[static_cast<std::size_t>(from_exit)];
-            already_run =
-                std::any_of(from_path.begin(), from_path.end(),
-                            [layer = layer](const auto& p) {
-                                return p.first == layer;
-                            });
-        }
-        if (!already_run) segments.push_back(macs);
-    }
-    if (segments.empty()) segments.push_back(0);
-    return segments;
+    IMX_EXPECTS(from_exit >= -1);
+    return segment_table_[static_cast<std::size_t>(from_exit + 1)]
+                         [static_cast<std::size_t>(to_exit)];
 }
 
 double OracleInferenceModel::difficulty(int event_id) const {
-    return hash_uniform(config_.seed, static_cast<std::uint64_t>(event_id), 0);
+    if (!difficulty_valid_ || difficulty_event_ != event_id) {
+        difficulty_event_ = event_id;
+        difficulty_u_ = hash_uniform(config_.seed,
+                                     static_cast<std::uint64_t>(event_id), 0);
+        difficulty_valid_ = true;
+    }
+    return difficulty_u_;
 }
 
 sim::ExitOutcome OracleInferenceModel::evaluate(int event_id, int exit) {

@@ -58,9 +58,19 @@ private:
     /// macs_of_layers_[e] = policy-compressed MACs of every layer on exit
     /// e's path, keyed by layer index (for incremental set differences).
     std::vector<std::vector<std::pair<int, std::int64_t>>> path_macs_;
+    /// Full (from, to) tables, precomputed in the constructor so the
+    /// simulator's per-step queries are O(1) lookups instead of O(path^2)
+    /// set differences. Row index is from_exit + 1 (row 0 = cold start).
+    std::vector<std::vector<std::int64_t>> incremental_table_;
+    std::vector<std::vector<std::vector<std::int64_t>>> segment_table_;
     std::vector<double> accuracy_;
     double model_bytes_ = 0.0;
     OracleModelConfig config_;
+    /// Last-event difficulty memo: the simulator evaluates the same event
+    /// at several exits in a row, and the latent u depends only on the id.
+    mutable int difficulty_event_ = -1;
+    mutable bool difficulty_valid_ = false;
+    mutable double difficulty_u_ = 0.0;
 };
 
 }  // namespace imx::core

@@ -3,18 +3,20 @@
 #include <cmath>
 #include <limits>
 
+#include "nn/kernels/kernels.hpp"
+
 namespace imx::nn {
 
 Tensor Relu::forward(const Tensor& input) {
     Tensor out = input;
+    // The mask is exactly the pre-activation sign; computing it from the
+    // input keeps backward independent of the kernel backend.
     mask_.assign(static_cast<std::size_t>(input.numel()), false);
-    for (std::int64_t i = 0; i < out.numel(); ++i) {
-        if (out[i] > 0.0F) {
-            mask_[static_cast<std::size_t>(i)] = true;
-        } else {
-            out[i] = 0.0F;
-        }
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        if (input[i] > 0.0F) mask_[static_cast<std::size_t>(i)] = true;
     }
+    kernels::bias_act(out.numel(), out.data(), 0.0F, kernels::Act::kRelu,
+                      out.data());
     return out;
 }
 

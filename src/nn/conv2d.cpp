@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/kernels.hpp"
+
 namespace imx::nn {
 
 namespace {
@@ -52,68 +54,34 @@ std::int64_t Conv2d::param_count() const {
     return weight_.numel() + bias_.numel();
 }
 
+kernels::Conv2dGeom Conv2d::geometry(const Shape& input_shape) const {
+    IMX_EXPECTS(input_shape.size() == 3);
+    IMX_EXPECTS(input_shape[0] == in_channels_);
+    return kernels::Conv2dGeom{in_channels_, out_channels_, input_shape[1],
+                               input_shape[2],  kernel_,     padding_};
+}
+
 Tensor Conv2d::forward(const Tensor& input) {
     cached_input_ = input;
     const Shape out_shape = output_shape(input.shape());
     Tensor out(out_shape);
-    const int h = input.dim(1);
-    const int w = input.dim(2);
-    const int oh = out_shape[1];
-    const int ow = out_shape[2];
-    for (int oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_[oc];
-        for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-                float acc = b;
-                for (int ic = 0; ic < in_channels_; ++ic) {
-                    for (int ky = 0; ky < kernel_; ++ky) {
-                        const int iy = oy + ky - padding_;
-                        if (iy < 0 || iy >= h) continue;
-                        for (int kx = 0; kx < kernel_; ++kx) {
-                            const int ix = ox + kx - padding_;
-                            if (ix < 0 || ix >= w) continue;
-                            acc += weight_.at(oc, ic, ky, kx) * input.at(ic, iy, ix);
-                        }
-                    }
-                }
-                out.at(oc, oy, ox) = acc;
-            }
-        }
-    }
+    kernels::conv2d_forward(geometry(input.shape()), input.data(),
+                            weight_.data(), bias_.data(), out.data());
     return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
     IMX_EXPECTS(!cached_input_.empty());
     const Tensor& input = cached_input_;
-    const int h = input.dim(1);
-    const int w = input.dim(2);
-    const int oh = grad_output.dim(1);
-    const int ow = grad_output.dim(2);
+    const kernels::Conv2dGeom geom = geometry(input.shape());
     IMX_EXPECTS(grad_output.dim(0) == out_channels_);
+    IMX_EXPECTS(grad_output.dim(1) == geom.out_h());
+    IMX_EXPECTS(grad_output.dim(2) == geom.out_w());
 
     Tensor grad_input(input.shape());
-    for (int oc = 0; oc < out_channels_; ++oc) {
-        for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-                const float go = grad_output.at(oc, oy, ox);
-                if (go == 0.0F) continue;
-                grad_bias_[oc] += go;
-                for (int ic = 0; ic < in_channels_; ++ic) {
-                    for (int ky = 0; ky < kernel_; ++ky) {
-                        const int iy = oy + ky - padding_;
-                        if (iy < 0 || iy >= h) continue;
-                        for (int kx = 0; kx < kernel_; ++kx) {
-                            const int ix = ox + kx - padding_;
-                            if (ix < 0 || ix >= w) continue;
-                            grad_weight_.at(oc, ic, ky, kx) += go * input.at(ic, iy, ix);
-                            grad_input.at(ic, iy, ix) += go * weight_.at(oc, ic, ky, kx);
-                        }
-                    }
-                }
-            }
-        }
-    }
+    kernels::conv2d_backward(geom, input.data(), weight_.data(),
+                             grad_output.data(), grad_input.data(),
+                             grad_weight_.data(), grad_bias_.data());
     return grad_input;
 }
 

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "nn/kernels/kernels.hpp"
 #include "nn/layer.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +47,9 @@ public:
     void prune_output_channels(const std::vector<int>& keep);
 
 private:
+    /// Kernel-layer geometry for a CHW input of the given shape.
+    [[nodiscard]] kernels::Conv2dGeom geometry(const Shape& input_shape) const;
+
     int in_channels_;
     int out_channels_;
     int kernel_;

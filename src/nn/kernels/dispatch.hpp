@@ -1,0 +1,66 @@
+// Runtime kernel-backend selection.
+//
+// The dispatch contract (docs/kernels.md):
+//   * Default: AVX2 when both the binary carries AVX2 code and the CPU
+//     reports the feature, otherwise the scalar reference.
+//   * `IMX_KERNEL=scalar` forces the reference path (bitwise identical to
+//     the historical per-layer loops, so every golden stays pinned).
+//   * `IMX_KERNEL=avx2` forces the vector path; a hard error if the binary
+//     or the CPU cannot honor it — a silent fallback would let perf claims
+//     lie about which kernels actually ran.
+//   * Any other value of IMX_KERNEL is a hard error (std::runtime_error),
+//     never a guess.
+// The environment is read once, on first dispatch; force_backend() lets
+// tests and benches flip paths in-process without re-execing.
+#ifndef IMX_NN_KERNELS_DISPATCH_HPP
+#define IMX_NN_KERNELS_DISPATCH_HPP
+
+#include <optional>
+#include <string>
+
+namespace imx::nn::kernels {
+
+enum class Backend {
+    kScalar,  ///< portable reference; bitwise-pinned to the legacy loops
+    kAvx2,    ///< 8-lane AVX2 (x86-64), selected by CPU detection
+};
+
+/// "scalar" / "avx2" — the same spellings IMX_KERNEL accepts.
+[[nodiscard]] const char* to_string(Backend backend);
+
+/// Does the running CPU report AVX2 support?
+[[nodiscard]] bool cpu_supports_avx2();
+
+/// Was the AVX2 translation unit built with AVX2 code generation? (False on
+/// non-x86 targets or toolchains without -mavx2; dispatch then never
+/// selects kAvx2 on its own and forcing it is a hard error.)
+[[nodiscard]] bool avx2_kernels_compiled();
+
+/// Parse a backend spelling ("scalar" | "avx2").
+/// \throws std::runtime_error for anything else.
+[[nodiscard]] Backend parse_backend(const std::string& name);
+
+/// Resolve the backend the way first dispatch does: honor IMX_KERNEL when
+/// set (hard error on unknown values or an unhonorable avx2), otherwise
+/// auto-detect. Pure — does not touch the cached selection.
+[[nodiscard]] Backend resolve_backend_from_env();
+
+/// The IMX_KERNEL override, if one is set and parseable; nullopt when the
+/// variable is absent. \throws std::runtime_error on unknown values.
+[[nodiscard]] std::optional<Backend> env_forced_backend();
+
+/// The backend every dispatched kernel call uses. Resolved from the
+/// environment once, then cached; force_backend() overrides the cache.
+[[nodiscard]] Backend active_backend();
+
+/// Test/bench hook: pin the active backend in-process, bypassing the
+/// environment. \throws std::runtime_error when avx2 cannot be honored.
+void force_backend(Backend backend);
+
+/// Drop any force_backend() pin and the cached env resolution; the next
+/// active_backend() call re-reads IMX_KERNEL.
+void clear_backend_override();
+
+}  // namespace imx::nn::kernels
+
+#endif  // IMX_NN_KERNELS_DISPATCH_HPP

@@ -1,0 +1,84 @@
+// Dispatch layer: validate geometry, bump counters, route to the active
+// backend. Kept separate from the backend TUs so the counter/contract cost
+// is paid once per call regardless of backend.
+#include "nn/kernels/kernels.hpp"
+
+#include "util/contracts.hpp"
+
+namespace imx::nn::kernels {
+
+namespace {
+
+void check_geom(const Conv2dGeom& g) {
+    IMX_EXPECTS(g.in_channels > 0 && g.out_channels > 0);
+    IMX_EXPECTS(g.in_h > 0 && g.in_w > 0);
+    IMX_EXPECTS(g.kernel > 0 && g.padding >= 0);
+    IMX_EXPECTS(g.out_h() > 0 && g.out_w() > 0);
+}
+
+}  // namespace
+
+void conv2d_forward(const Conv2dGeom& geom, const float* input,
+                    const float* weight, const float* bias, float* output) {
+    check_geom(geom);
+    detail::count_conv2d_forward(static_cast<std::uint64_t>(geom.macs()));
+    if (active_backend() == Backend::kAvx2) {
+        detail::avx2_conv2d_forward(geom, input, weight, bias, output);
+    } else {
+        detail::scalar_conv2d_forward(geom, input, weight, bias, output);
+    }
+}
+
+void conv2d_backward(const Conv2dGeom& geom, const float* input,
+                     const float* weight, const float* grad_output,
+                     float* grad_input, float* grad_weight, float* grad_bias) {
+    check_geom(geom);
+    // Backward does ~2x the forward MACs (grad_input and grad_weight).
+    detail::count_conv2d_backward(2 * static_cast<std::uint64_t>(geom.macs()));
+    if (active_backend() == Backend::kAvx2) {
+        detail::avx2_conv2d_backward(geom, input, weight, grad_output,
+                                     grad_input, grad_weight, grad_bias);
+    } else {
+        detail::scalar_conv2d_backward(geom, input, weight, grad_output,
+                                       grad_input, grad_weight, grad_bias);
+    }
+}
+
+void gemm(int out_features, int in_features, const float* weight,
+          const float* x, const float* bias, float* y) {
+    IMX_EXPECTS(out_features > 0 && in_features > 0);
+    detail::count_gemm(static_cast<std::uint64_t>(out_features) *
+                       static_cast<std::uint64_t>(in_features));
+    if (active_backend() == Backend::kAvx2) {
+        detail::avx2_gemm(out_features, in_features, weight, x, bias, y);
+    } else {
+        detail::scalar_gemm(out_features, in_features, weight, x, bias, y);
+    }
+}
+
+void gemm_backward(int out_features, int in_features, const float* weight,
+                   const float* x, const float* grad_y, float* grad_x,
+                   float* grad_weight, float* grad_bias) {
+    IMX_EXPECTS(out_features > 0 && in_features > 0);
+    detail::count_gemm(2 * static_cast<std::uint64_t>(out_features) *
+                       static_cast<std::uint64_t>(in_features));
+    if (active_backend() == Backend::kAvx2) {
+        detail::avx2_gemm_backward(out_features, in_features, weight, x,
+                                   grad_y, grad_x, grad_weight, grad_bias);
+    } else {
+        detail::scalar_gemm_backward(out_features, in_features, weight, x,
+                                     grad_y, grad_x, grad_weight, grad_bias);
+    }
+}
+
+void bias_act(std::int64_t n, const float* x, float bias, Act act, float* y) {
+    IMX_EXPECTS(n >= 0);
+    detail::count_bias_act(static_cast<std::uint64_t>(n));
+    if (active_backend() == Backend::kAvx2) {
+        detail::avx2_bias_act(n, x, bias, act, y);
+    } else {
+        detail::scalar_bias_act(n, x, bias, act, y);
+    }
+}
+
+}  // namespace imx::nn::kernels

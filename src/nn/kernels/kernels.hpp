@@ -1,0 +1,124 @@
+// Runtime-dispatched NN kernels: conv2d forward/backward, GEMV-style GEMM
+// (the single-sample matrix-vector product Linear executes), and a fused
+// bias+activation map. Call sites (Conv2d, Linear, Relu, and through them
+// the exit-graph evaluation path) go through these entry points; the
+// backend — scalar reference or AVX2 — is chosen per dispatch.hpp and every
+// call bumps the counters (counters.hpp).
+//
+// Numeric contract (docs/kernels.md):
+//   * scalar is the reference: bitwise identical to the historical
+//     per-layer loops in every case, which keeps all sweep goldens pinned
+//     under IMX_KERNEL=scalar.
+//   * conv2d_forward avx2 is bitwise identical to scalar too (lanes carry
+//     independent outputs in the same per-element accumulation order, and
+//     the TU is built without FMA contraction).
+//   * gemm and the backward kernels re-associate reductions across 8
+//     lanes; agreement with scalar is bounded in ULPs measured at the
+//     magnitude of sum(|terms|) (kGemmUlpBound / kBackwardUlpBound),
+//     enforced by tests/test_kernels_diff.cpp.
+#ifndef IMX_NN_KERNELS_KERNELS_HPP
+#define IMX_NN_KERNELS_KERNELS_HPP
+
+#include <cstdint>
+
+#include "nn/kernels/counters.hpp"
+#include "nn/kernels/dispatch.hpp"
+
+namespace imx::nn::kernels {
+
+/// Documented scalar-vs-avx2 ULP tolerances (see docs/kernels.md for the
+/// derivation). Re-associating a K-term reduction into 8 partial sums
+/// perturbs the result by a small multiple of eps at the magnitude of
+/// sum(|terms|) — NOT of the result, which cancellation can leave
+/// arbitrarily small. The bounds below are therefore ULPs *at the
+/// reduction magnitude*: |scalar - avx2| must not exceed
+/// bound * 2^-23 * max(|scalar|, |avx2|, sum(|terms|)). They carry an
+/// order of magnitude of headroom for the shapes this project runs
+/// (K <= 16384).
+inline constexpr int kGemmUlpBound = 64;
+inline constexpr int kBackwardUlpBound = 256;
+
+/// Geometry of a stride-1, square-kernel, zero-padded 2-D convolution
+/// (the only convolution this project uses). Activations are CHW, weights
+/// [out, in, k, k] — Tensor's layouts.
+struct Conv2dGeom {
+    int in_channels = 0;
+    int out_channels = 0;
+    int in_h = 0;
+    int in_w = 0;
+    int kernel = 0;
+    int padding = 0;
+
+    [[nodiscard]] int out_h() const { return in_h + 2 * padding - kernel + 1; }
+    [[nodiscard]] int out_w() const { return in_w + 2 * padding - kernel + 1; }
+    [[nodiscard]] std::int64_t macs() const {
+        return static_cast<std::int64_t>(out_channels) * out_h() * out_w() *
+               in_channels * kernel * kernel;
+    }
+};
+
+/// Activation applied by bias_act.
+enum class Act {
+    kIdentity,
+    kRelu,
+};
+
+/// output[oc,oy,ox] = bias[oc] + sum_{ic,ky,kx} weight[oc,ic,ky,kx] *
+/// input[ic, oy+ky-p, ox+kx-p] (out-of-range taps read as zero).
+/// `output` must hold out_channels*out_h*out_w floats; it is overwritten.
+void conv2d_forward(const Conv2dGeom& geom, const float* input,
+                    const float* weight, const float* bias, float* output);
+
+/// Accumulates (+=) into grad_weight/grad_bias (the optimizer contract) and
+/// overwrites grad_input. `input` is the forward activation.
+void conv2d_backward(const Conv2dGeom& geom, const float* input,
+                     const float* weight, const float* grad_output,
+                     float* grad_input, float* grad_weight, float* grad_bias);
+
+/// y[r] = bias[r] + sum_c weight[r*in+c] * x[c] — the single-sample GEMM
+/// (M=out, K=in, N=1) Linear::forward executes. `y` is overwritten.
+void gemm(int out_features, int in_features, const float* weight,
+          const float* x, const float* bias, float* y);
+
+/// Backward of gemm: grad_weight[r,c] += g[r]*x[c], grad_bias[r] += g[r],
+/// grad_x[c] = sum_r g[r]*weight[r,c]. `grad_x` is overwritten.
+void gemm_backward(int out_features, int in_features, const float* weight,
+                   const float* x, const float* grad_y, float* grad_x,
+                   float* grad_weight, float* grad_bias);
+
+/// y[i] = act(x[i] + bias); pass bias = 0 for a plain activation map.
+/// In-place (y == x) is allowed.
+void bias_act(std::int64_t n, const float* x, float bias, Act act, float* y);
+
+namespace detail {
+// Backend implementations (kernels_scalar.cpp / kernels_avx2.cpp). The
+// avx2_* symbols always link; when the TU is built without AVX2 codegen
+// they hard-fail via contracts (dispatch never routes there — see
+// avx2_kernels_compiled()).
+void scalar_conv2d_forward(const Conv2dGeom& g, const float* in,
+                           const float* w, const float* b, float* out);
+void scalar_conv2d_backward(const Conv2dGeom& g, const float* in,
+                            const float* w, const float* gout, float* gin,
+                            float* gw, float* gb);
+void scalar_gemm(int out_f, int in_f, const float* w, const float* x,
+                 const float* b, float* y);
+void scalar_gemm_backward(int out_f, int in_f, const float* w, const float* x,
+                          const float* gy, float* gx, float* gw, float* gb);
+void scalar_bias_act(std::int64_t n, const float* x, float bias, Act act,
+                     float* y);
+
+void avx2_conv2d_forward(const Conv2dGeom& g, const float* in, const float* w,
+                         const float* b, float* out);
+void avx2_conv2d_backward(const Conv2dGeom& g, const float* in, const float* w,
+                          const float* gout, float* gin, float* gw, float* gb);
+void avx2_gemm(int out_f, int in_f, const float* w, const float* x,
+               const float* b, float* y);
+void avx2_gemm_backward(int out_f, int in_f, const float* w, const float* x,
+                        const float* gy, float* gx, float* gw, float* gb);
+void avx2_bias_act(std::int64_t n, const float* x, float bias, Act act,
+                   float* y);
+}  // namespace detail
+
+}  // namespace imx::nn::kernels
+
+#endif  // IMX_NN_KERNELS_KERNELS_HPP

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/kernels.hpp"
+
 namespace imx::nn {
 
 Linear::Linear(int in_features, int out_features, std::string name,
@@ -35,14 +37,8 @@ Tensor Linear::forward(const Tensor& input) {
     IMX_EXPECTS(input.numel() == in_features_);
     cached_input_ = input;
     Tensor out({out_features_});
-    const float* x = input.data();
-    for (int r = 0; r < out_features_; ++r) {
-        float acc = bias_[r];
-        const float* wrow = weight_.data() + static_cast<std::size_t>(r) *
-                                                 static_cast<std::size_t>(in_features_);
-        for (int c = 0; c < in_features_; ++c) acc += wrow[c] * x[c];
-        out[r] = acc;
-    }
+    kernels::gemm(out_features_, in_features_, weight_.data(), input.data(),
+                  bias_.data(), out.data());
     return out;
 }
 
@@ -50,21 +46,10 @@ Tensor Linear::backward(const Tensor& grad_output) {
     IMX_EXPECTS(!cached_input_.empty());
     IMX_EXPECTS(grad_output.numel() == out_features_);
     Tensor grad_input(cached_input_.shape());
-    const float* x = cached_input_.data();
-    float* gx = grad_input.data();
-    for (int r = 0; r < out_features_; ++r) {
-        const float go = grad_output[r];
-        grad_bias_[r] += go;
-        if (go == 0.0F) continue;
-        const std::size_t off =
-            static_cast<std::size_t>(r) * static_cast<std::size_t>(in_features_);
-        const float* wrow = weight_.data() + off;
-        float* gwrow = grad_weight_.data() + off;
-        for (int c = 0; c < in_features_; ++c) {
-            gwrow[c] += go * x[c];
-            gx[c] += go * wrow[c];
-        }
-    }
+    kernels::gemm_backward(out_features_, in_features_, weight_.data(),
+                           cached_input_.data(), grad_output.data(),
+                           grad_input.data(), grad_weight_.data(),
+                           grad_bias_.data());
     return grad_input;
 }
 

@@ -1,0 +1,221 @@
+// Dispatch-selection coverage for the kernel layer: forced-scalar,
+// forced-AVX2, unknown IMX_KERNEL (hard error, not a silent fallback), the
+// CPU-detection default — plus the golden pin that scalar dispatch
+// reproduces every registered experiment's --quick aggregate CSV byte-exact
+// (FNV-1a hashes captured from the pre-kernel-layer implementation).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/experiment.hpp"
+#include "exp/runner.hpp"
+#include "nn/kernels/kernels.hpp"
+
+namespace {
+
+using namespace imx;
+using nn::kernels::Backend;
+
+bool avx2_available() {
+    return nn::kernels::avx2_kernels_compiled() &&
+           nn::kernels::cpu_supports_avx2();
+}
+
+/// Scoped IMX_KERNEL value; restores the previous value (or unset) on exit.
+class ScopedKernelEnv {
+public:
+    explicit ScopedKernelEnv(const char* value) {
+        const char* old = std::getenv("IMX_KERNEL");
+        had_old_ = old != nullptr;
+        if (had_old_) old_ = old;
+        if (value == nullptr) {
+            ::unsetenv("IMX_KERNEL");
+        } else {
+            ::setenv("IMX_KERNEL", value, 1);
+        }
+    }
+    ~ScopedKernelEnv() {
+        if (had_old_) {
+            ::setenv("IMX_KERNEL", old_.c_str(), 1);
+        } else {
+            ::unsetenv("IMX_KERNEL");
+        }
+    }
+    ScopedKernelEnv(const ScopedKernelEnv&) = delete;
+    ScopedKernelEnv& operator=(const ScopedKernelEnv&) = delete;
+
+private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+TEST(KernelDispatch, ParseBackendAcceptsKnownNamesOnly) {
+    EXPECT_EQ(nn::kernels::parse_backend("scalar"), Backend::kScalar);
+    EXPECT_EQ(nn::kernels::parse_backend("avx2"), Backend::kAvx2);
+    EXPECT_THROW((void)nn::kernels::parse_backend("sse2"),
+                 std::runtime_error);
+    EXPECT_THROW((void)nn::kernels::parse_backend("Scalar"),
+                 std::runtime_error);
+    EXPECT_THROW((void)nn::kernels::parse_backend(""), std::runtime_error);
+}
+
+TEST(KernelDispatch, EnvForcedScalarWins) {
+    ScopedKernelEnv env("scalar");
+    EXPECT_EQ(nn::kernels::resolve_backend_from_env(), Backend::kScalar);
+    ASSERT_TRUE(nn::kernels::env_forced_backend().has_value());
+    EXPECT_EQ(*nn::kernels::env_forced_backend(), Backend::kScalar);
+}
+
+TEST(KernelDispatch, EnvForcedAvx2WinsWhenSupported) {
+    if (!avx2_available()) GTEST_SKIP() << "AVX2 unavailable";
+    ScopedKernelEnv env("avx2");
+    EXPECT_EQ(nn::kernels::resolve_backend_from_env(), Backend::kAvx2);
+}
+
+TEST(KernelDispatch, UnknownEnvValueIsAHardError) {
+    ScopedKernelEnv env("neon");
+    EXPECT_THROW((void)nn::kernels::resolve_backend_from_env(),
+                 std::runtime_error);
+    EXPECT_THROW((void)nn::kernels::env_forced_backend(), std::runtime_error);
+}
+
+TEST(KernelDispatch, EmptyEnvMeansAutoDetection) {
+    ScopedKernelEnv env("");
+    const Backend resolved = nn::kernels::resolve_backend_from_env();
+    EXPECT_EQ(resolved,
+              avx2_available() ? Backend::kAvx2 : Backend::kScalar);
+    EXPECT_FALSE(nn::kernels::env_forced_backend().has_value());
+}
+
+TEST(KernelDispatch, ForceBackendOverridesAndClears) {
+    nn::kernels::force_backend(Backend::kScalar);
+    EXPECT_EQ(nn::kernels::active_backend(), Backend::kScalar);
+    if (avx2_available()) {
+        nn::kernels::force_backend(Backend::kAvx2);
+        EXPECT_EQ(nn::kernels::active_backend(), Backend::kAvx2);
+    }
+    nn::kernels::clear_backend_override();
+}
+
+TEST(KernelDispatch, ForcedBackendActuallyRuns) {
+    nn::kernels::force_backend(Backend::kScalar);
+    const auto before = nn::kernels::counters_snapshot();
+    std::vector<float> w = {1.0F, 2.0F};
+    std::vector<float> x = {3.0F};
+    std::vector<float> b = {0.5F, -0.5F};
+    std::vector<float> y(2);
+    nn::kernels::gemm(2, 1, w.data(), x.data(), b.data(), y.data());
+    const auto after = nn::kernels::counters_snapshot();
+    EXPECT_EQ(after.gemm_calls, before.gemm_calls + 1);
+    EXPECT_EQ(after.gemm_macs, before.gemm_macs + 2);
+    EXPECT_FLOAT_EQ(y[0], 3.5F);
+    EXPECT_FLOAT_EQ(y[1], 5.5F);
+    nn::kernels::clear_backend_override();
+}
+
+// --- golden pin -----------------------------------------------------------
+
+std::uint64_t fnv1a(const std::string& bytes) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// Run one registered experiment's --quick grid in-process and hash its
+/// aggregate CSV.
+std::string quick_aggregate_hash(const std::string& name) {
+    exp::SweepCli cli;
+    cli.quick = true;
+    cli.replicas = 1;
+    cli.replicas_given = true;
+    cli.threads = 1;
+    const exp::Experiment experiment = exp::make_experiment(name);
+    const std::vector<exp::ScenarioSpec> specs =
+        exp::build_experiment_scenarios(experiment, cli);
+    const std::vector<exp::ScenarioOutcome> outcomes = exp::run_sweep(
+        specs, exp::RunnerConfig{cli.threads});
+    const std::string path =
+        testing::TempDir() + "imx_kernels_golden_" + name + ".csv";
+    exp::write_aggregate_csv(path, exp::aggregate(specs, outcomes));
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::remove(path.c_str());
+    return hex64(fnv1a(buf.str()));
+}
+
+/// FNV-1a hashes of every registered experiment's quick aggregate CSV
+/// (--quick --replicas 1, default base seed), captured from the historical
+/// per-layer loops. Scalar dispatch must reproduce them byte for byte; a
+/// mismatch means the scalar kernels (or anything upstream of the goldens)
+/// moved. Adding an experiment to the registry fails the coverage check
+/// below until its hash is added here.
+const std::map<std::string, std::string>& expected_hashes() {
+    static const std::map<std::string, std::string> hashes = {
+        {"ablation-deadline-policy", "0x6e344af1d46c92cf"},
+        {"ablation-runtime", "0xc9e4ea0be6734845"},
+        {"ablation-search", "0x00ffc400f9c5e956"},
+        {"ablation-storage-deadline", "0xcb0500929d092a4e"},
+        {"ablation-trace", "0xa30ff31e3f80a341"},
+        {"fig1b-exit-accuracy", "0x56866c6ed17bfa85"},
+        {"fig4-compression-policy", "0x90692be3ba2607dd"},
+        {"fig5-iepmj", "0xe6e176df4935f911"},
+        {"fig6-flops", "0x902136d3990b54f3"},
+        {"fig7a-runtime-learning", "0x5f88f4d7d5b92f9e"},
+        {"fig7b-exit-distribution", "0xe63e204a421de9d5"},
+        {"harvester-ablation", "0x618760c6aa3c044b"},
+        // latency-table's quick grid coincides with fig5-iepmj's, so the
+        // aggregate CSVs (and hashes) are identical by construction.
+        {"latency-table", "0xe6e176df4935f911"},
+        {"recovery-ablation", "0x487e165796d9d3bc"},
+    };
+    return hashes;
+}
+
+TEST(KernelGoldens, ScalarDispatchReproducesEveryQuickGoldenByteExact) {
+    nn::kernels::force_backend(Backend::kScalar);
+    for (const auto& [name, expected] : expected_hashes()) {
+        EXPECT_EQ(quick_aggregate_hash(name), expected) << name;
+    }
+    nn::kernels::clear_backend_override();
+}
+
+TEST(KernelGoldens, EveryRegisteredExperimentIsPinned) {
+    for (const std::string& name : exp::experiment_names()) {
+        EXPECT_EQ(expected_hashes().count(name), 1u)
+            << "experiment '" << name
+            << "' has no golden hash in test_kernels_dispatch.cpp";
+    }
+}
+
+/// The sweep pipeline drives the analytic oracle models, not the float NN
+/// kernels, so the backend must be unobservable in sweep output: the AVX2
+/// path has to produce the same bytes as the pinned scalar goldens.
+TEST(KernelGoldens, Avx2DispatchMatchesScalarGolden) {
+    if (!avx2_available()) GTEST_SKIP() << "AVX2 unavailable";
+    nn::kernels::force_backend(Backend::kAvx2);
+    EXPECT_EQ(quick_aggregate_hash("fig5-iepmj"),
+              expected_hashes().at("fig5-iepmj"));
+    nn::kernels::clear_backend_override();
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// Property tests for nn::Tensor and the quantization round-trip: random
+// shapes, row-major stride consistency, pruning edge cases, and NaN/inf
+// propagation through the dispatched kernels (part of the kernel-harness
+// contract in docs/kernels.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/kernels/kernels.hpp"
+#include "nn/quantize.hpp"
+#include "nn/tensor.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace imx;
+
+TEST(TensorProps, AccessorsMatchRowMajorFlatIndexing) {
+    util::Rng rng(0x7e50);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int c = rng.uniform_int(1, 6);
+        const int h = rng.uniform_int(1, 9);
+        const int w = rng.uniform_int(1, 9);
+        nn::Tensor t({c, h, w});
+        for (std::int64_t i = 0; i < t.numel(); ++i) {
+            t[i] = static_cast<float>(rng.normal());
+        }
+        ASSERT_EQ(t.numel(), static_cast<std::int64_t>(c) * h * w);
+        for (int ci = 0; ci < c; ++ci) {
+            for (int hi = 0; hi < h; ++hi) {
+                for (int wi = 0; wi < w; ++wi) {
+                    const std::int64_t flat =
+                        (static_cast<std::int64_t>(ci) * h + hi) * w + wi;
+                    ASSERT_EQ(t.at(ci, hi, wi), t[flat])
+                        << "(" << ci << "," << hi << "," << wi << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(TensorProps, ReshapeRoundTripPreservesData) {
+    util::Rng rng(0x5ea9);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int a = rng.uniform_int(1, 8);
+        const int b = rng.uniform_int(1, 8);
+        const int c = rng.uniform_int(1, 8);
+        nn::Tensor t({a, b, c});
+        for (std::int64_t i = 0; i < t.numel(); ++i) {
+            t[i] = static_cast<float>(rng.normal());
+        }
+        const nn::Tensor flat = t.reshaped({a * b * c});
+        const nn::Tensor back = flat.reshaped({a, b, c});
+        ASSERT_EQ(back.shape(), t.shape());
+        for (std::int64_t i = 0; i < t.numel(); ++i) {
+            ASSERT_EQ(back[i], t[i]) << i;
+        }
+    }
+}
+
+TEST(TensorProps, ReshapeRejectsElementCountMismatch) {
+    nn::Tensor t({2, 3});
+    EXPECT_THROW((void)t.reshaped({7}), util::ContractViolation);
+}
+
+TEST(TensorProps, OutOfRangeIndexingViolatesContracts) {
+    nn::Tensor t({2, 3, 4});
+    EXPECT_THROW((void)t.at(2, 0, 0), util::ContractViolation);
+    EXPECT_THROW((void)t.at(0, 3, 0), util::ContractViolation);
+    EXPECT_THROW((void)t.at(0, 0, 4), util::ContractViolation);
+    EXPECT_THROW((void)t[t.numel()], util::ContractViolation);
+    EXPECT_THROW((void)t[-1], util::ContractViolation);
+}
+
+TEST(TensorProps, AddScaledAndScaleAlgebra) {
+    util::Rng rng(0xa15eb9a);
+    nn::Tensor t({4, 5});
+    nn::Tensor other({4, 5});
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        t[i] = static_cast<float>(rng.normal());
+        other[i] = static_cast<float>(rng.normal());
+    }
+    nn::Tensor copy = t;
+    copy.add_scaled(other, 0.0F);  // no-op
+    copy.scale(1.0F);              // no-op
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        ASSERT_EQ(copy[i], t[i]) << i;
+    }
+    copy.add_scaled(other, 2.0F);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        ASSERT_FLOAT_EQ(copy[i], t[i] + 2.0F * other[i]) << i;
+    }
+}
+
+TEST(TensorProps, NanAndInfSurviveStorageAndNorms) {
+    nn::Tensor t({3});
+    t[0] = std::numeric_limits<float>::quiet_NaN();
+    t[1] = std::numeric_limits<float>::infinity();
+    t[2] = -1.0F;
+    EXPECT_TRUE(std::isnan(t[0]));
+    EXPECT_TRUE(std::isinf(t[1]));
+    EXPECT_TRUE(std::isnan(t.l2_norm()) || std::isinf(t.l2_norm()));
+}
+
+/// Pruning edge cases: keep-all is an exact identity; keeping a subset
+/// gathers exactly the kept channels' weights.
+TEST(TensorProps, ConvPruningKeepAllIsIdentityAndSubsetGathers) {
+    util::Rng rng(0x9a26e5);
+    nn::Conv2d conv(4, 3, 3, 1, "c", rng);
+    const nn::Tensor w_before = conv.weight();
+
+    const nn::LayerPtr keep_all_ptr = conv.clone();
+    auto& keep_all = static_cast<nn::Conv2d&>(*keep_all_ptr);
+    keep_all.prune_input_channels({0, 1, 2, 3});
+    ASSERT_EQ(keep_all.weight().shape(), w_before.shape());
+    for (std::int64_t i = 0; i < w_before.numel(); ++i) {
+        ASSERT_EQ(keep_all.weight()[i], w_before[i]) << i;
+    }
+
+    const nn::LayerPtr subset_ptr = conv.clone();
+    auto& subset = static_cast<nn::Conv2d&>(*subset_ptr);
+    subset.prune_input_channels({1, 3});
+    ASSERT_EQ(subset.in_channels(), 2);
+    const std::vector<int> kept = {1, 3};
+    for (int oc = 0; oc < 3; ++oc) {
+        for (int j = 0; j < 2; ++j) {
+            for (int ky = 0; ky < 3; ++ky) {
+                for (int kx = 0; kx < 3; ++kx) {
+                    ASSERT_EQ(subset.weight().at(oc, j, ky, kx),
+                              w_before.at(oc, kept[static_cast<std::size_t>(j)],
+                                          ky, kx));
+                }
+            }
+        }
+    }
+    EXPECT_THROW(subset.prune_input_channels({0, 0}),
+                 util::ContractViolation);  // duplicates rejected
+    EXPECT_THROW(subset.prune_input_channels({1, 0}),
+                 util::ContractViolation);  // must be sorted
+}
+
+TEST(QuantizeProps, WeightCodesBoundedAndReconstructionMatchesScale) {
+    util::Rng rng(0x9a27);
+    for (int trial = 0; trial < 12; ++trial) {
+        const int bits = rng.uniform_int(1, 8);
+        const int n = rng.uniform_int(4, 400);
+        nn::Tensor w({n});
+        for (std::int64_t i = 0; i < w.numel(); ++i) {
+            w[i] = static_cast<float>(rng.normal());
+        }
+        const nn::QuantResult q = nn::quantize_weights(w, bits);
+        ASSERT_GT(q.scale, 0.0);
+        ASSERT_GE(q.mse, 0.0);
+        ASSERT_EQ(static_cast<std::int64_t>(q.codes.size()), w.numel());
+        const std::int32_t lo = -(1 << (bits - 1));
+        const std::int32_t hi = (1 << (bits - 1)) - 1;
+        for (const std::int32_t code : q.codes) {
+            ASSERT_GE(code, lo);
+            ASSERT_LE(code, hi);
+        }
+
+        // Fake-quant lands every value on the code lattice.
+        nn::Tensor fq = w;
+        nn::fake_quantize_weights(fq, bits);
+        std::set<float> distinct;
+        for (std::int64_t i = 0; i < fq.numel(); ++i) distinct.insert(fq[i]);
+        ASSERT_LE(distinct.size(), static_cast<std::size_t>(1) << bits);
+    }
+}
+
+TEST(QuantizeProps, MoreBitsNeverHurtWeightMse) {
+    util::Rng rng(0xb17);
+    nn::Tensor w({512});
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+        w[i] = static_cast<float>(rng.normal());
+    }
+    double prev_mse = std::numeric_limits<double>::infinity();
+    for (const int bits : {1, 2, 4, 8}) {
+        const nn::QuantResult q = nn::quantize_weights(w, bits);
+        // Small epsilon: the scale search is a bracket, not an exact argmin.
+        EXPECT_LE(q.mse, prev_mse * 1.001 + 1e-12) << "bits=" << bits;
+        prev_mse = q.mse;
+    }
+}
+
+TEST(QuantizeProps, ActivationRoundTripStaysNonNegativeAndOnLattice) {
+    util::Rng rng(0xac7);
+    for (int trial = 0; trial < 12; ++trial) {
+        const int bits = rng.uniform_int(1, 8);
+        const int n = rng.uniform_int(4, 300);
+        nn::Tensor a({n});
+        for (std::int64_t i = 0; i < a.numel(); ++i) {
+            const float v = static_cast<float>(rng.normal());
+            a[i] = v > 0.0F ? v : 0.0F;  // post-ReLU range
+        }
+        const nn::QuantResult q = nn::quantize_activations(a, bits);
+        const std::int32_t hi = (1 << bits) - 1;
+        for (const std::int32_t code : q.codes) {
+            ASSERT_GE(code, 0);
+            ASSERT_LE(code, hi);
+        }
+        nn::Tensor fq = a;
+        nn::fake_quantize_activations(fq, bits);
+        std::set<float> distinct;
+        for (std::int64_t i = 0; i < fq.numel(); ++i) {
+            ASSERT_GE(fq[i], 0.0F) << i;
+            distinct.insert(fq[i]);
+        }
+        ASSERT_LE(distinct.size(), static_cast<std::size_t>(1) << bits);
+    }
+}
+
+/// NaN/inf propagation through the dispatched kernels, pinned for every
+/// available backend: gemm and conv2d_forward propagate, ReLU's documented
+/// semantics map NaN to zero (`t > 0` is false for NaN).
+TEST(QuantizeProps, KernelsPropagateNanAndInf) {
+    std::vector<nn::kernels::Backend> backends = {
+        nn::kernels::Backend::kScalar};
+    if (nn::kernels::avx2_kernels_compiled() &&
+        nn::kernels::cpu_supports_avx2()) {
+        backends.push_back(nn::kernels::Backend::kAvx2);
+    }
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    for (const auto backend : backends) {
+        nn::kernels::force_backend(backend);
+
+        // gemm: a NaN column poisons every row; an inf column with positive
+        // weights drives rows to +inf.
+        const int out_f = 3;
+        const int in_f = 10;
+        std::vector<float> w(static_cast<std::size_t>(out_f) * in_f, 1.0F);
+        std::vector<float> b(static_cast<std::size_t>(out_f), 0.0F);
+        std::vector<float> x(static_cast<std::size_t>(in_f), 1.0F);
+        std::vector<float> y(static_cast<std::size_t>(out_f));
+        x[4] = nan;
+        nn::kernels::gemm(out_f, in_f, w.data(), x.data(), b.data(), y.data());
+        for (const float v : y) EXPECT_TRUE(std::isnan(v));
+        x[4] = inf;
+        nn::kernels::gemm(out_f, in_f, w.data(), x.data(), b.data(), y.data());
+        for (const float v : y) EXPECT_TRUE(std::isinf(v) && v > 0.0F);
+
+        // conv2d_forward: every output window taps the poisoned center.
+        nn::kernels::Conv2dGeom g;
+        g.in_channels = 1;
+        g.out_channels = 2;
+        g.in_h = 3;
+        g.in_w = 3;
+        g.kernel = 3;
+        g.padding = 0;
+        std::vector<float> cin(9, 1.0F);
+        cin[4] = nan;
+        std::vector<float> cw(static_cast<std::size_t>(2) * 9, 1.0F);
+        std::vector<float> cb(2, 0.0F);
+        std::vector<float> cout(2);
+        nn::kernels::conv2d_forward(g, cin.data(), cw.data(), cb.data(),
+                                    cout.data());
+        EXPECT_TRUE(std::isnan(cout[0]) && std::isnan(cout[1]));
+
+        // ReLU maps NaN to zero on every backend (documented semantics).
+        std::vector<float> rin = {nan, -inf, inf, -1.0F, 2.0F};
+        std::vector<float> rout(rin.size());
+        nn::kernels::bias_act(static_cast<std::int64_t>(rin.size()),
+                              rin.data(), 0.0F, nn::kernels::Act::kRelu,
+                              rout.data());
+        EXPECT_EQ(rout[0], 0.0F);
+        EXPECT_EQ(rout[1], 0.0F);
+        EXPECT_TRUE(std::isinf(rout[2]) && rout[2] > 0.0F);
+        EXPECT_EQ(rout[3], 0.0F);
+        EXPECT_FLOAT_EQ(rout[4], 2.0F);
+    }
+    nn::kernels::clear_backend_override();
+}
+
+}  // namespace
