@@ -1,0 +1,14 @@
+// Request-traffic ablation: arrival source (uniform / flash-crowd bursts /
+// MMPP / diurnal) x bounded request-queue capacity x queue-aware vs
+// queue-blind slack policy under a 60 s deadline. Thin shim over the
+// "traffic-ablation" registry entry — the same grid is also expressible as
+// a pure spec file, see examples/experiments/traffic_ablation.ini and
+// docs/workloads.md.
+//
+// Usage: bench_ablation_traffic [--quick] [--replicas N] [--threads N]
+//                               [--csv PATH] [--base-seed N]
+#include "exp/experiment.hpp"
+
+int main(int argc, char** argv) {
+    return imx::exp::experiment_main("traffic-ablation", argc, argv);
+}

@@ -27,6 +27,7 @@
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "exp/spec_parser.hpp"
+#include "sim/arrivals/registry.hpp"
 #include "sim/recovery/registry.hpp"
 
 using namespace imx;
@@ -52,6 +53,12 @@ int list_experiments() {
     for (const auto& name : energy::trace_source_names()) {
         std::printf("  %-28s %s\n", name.c_str(),
                     energy::trace_source_description(name).c_str());
+    }
+    std::printf("\nregistered arrival sources (spec `[arrivals.<label>]` "
+                "sections, docs/workloads.md):\n");
+    for (const auto& name : sim::arrival_source_names()) {
+        std::printf("  %-28s %s\n", name.c_str(),
+                    sim::arrival_source_description(name).c_str());
     }
     std::printf("\nregistered recovery strategies (spec `[recovery.<label>]` "
                 "sections, docs/recovery.md):\n");

@@ -71,6 +71,10 @@ run_case "harvester_ablation.ini (--quick)" \
 # live, across all built-in strategies.
 run_case "recovery-ablation (--quick)" \
          recovery-ablation --quick
+# The queue hot path: bounded-queue bookkeeping + percentile collection
+# live on every cell, across all four arrival sources.
+run_case "traffic_ablation.ini (--quick)" \
+         --spec "$SPEC_DIR/traffic_ablation.ini" --quick
 # Shard mode: same grid, half the specs, journal streaming on — tracks the
 # per-shard overhead of shard selection + journaling against the unsharded
 # trend line above.

@@ -47,20 +47,25 @@ ExperimentSetup make_paper_setup(const SetupConfig& config) {
                            config.trace_params);
     trace.rescale_total_energy(config.total_harvest_mj);
 
-    sim::EventGenConfig events_cfg;
-    events_cfg.count = config.event_count;
-    events_cfg.duration_s = trace.duration();
-    events_cfg.kind = config.arrivals;
-    events_cfg.seed = config.event_seed;
+    // The request workload comes from the arrival registry; the default
+    // "uniform" source is the paper's Sec. V-A schedule, bitwise identical
+    // to the pre-registry generator.
+    sim::ArrivalContext events_ctx;
+    events_ctx.count = config.event_count;
+    events_ctx.duration_s = trace.duration();
+    events_ctx.seed = config.event_seed;
+    std::vector<sim::Event> events = sim::generate_arrivals(
+        config.arrival_source, events_ctx, config.arrival_params);
 
     ExperimentSetup setup{
         std::move(trace),
-        sim::generate_events(events_cfg),
+        std::move(events),
         sim::SimConfig{},
         sim::SimConfig{},
         make_paper_network_desc(),
         reference_nonuniform_policy(),
         {},
+        config,
     };
 
     setup.multi_exit_sim.mode = sim::ExecutionMode::kMultiExit;

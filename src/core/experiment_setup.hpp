@@ -16,6 +16,7 @@
 #include "core/accuracy_model.hpp"
 #include "energy/power_trace.hpp"
 #include "energy/trace_registry.hpp"
+#include "sim/arrivals/registry.hpp"
 #include "sim/event_gen.hpp"
 #include "sim/simulator.hpp"
 
@@ -27,7 +28,12 @@ struct SetupConfig {
     double total_harvest_mj = 281.5;
     std::uint64_t trace_seed = 7;
     std::uint64_t event_seed = 99;
-    sim::ArrivalKind arrivals = sim::ArrivalKind::kUniform;
+    /// Request workload, resolved through the arrival registry
+    /// (sim/arrivals/registry.hpp). The default — "uniform" with an empty
+    /// parameter map — is the paper's Sec. V-A stream, bitwise identical to
+    /// the pre-registry ArrivalKind::kUniform schedule.
+    std::string arrival_source = "uniform";
+    sim::ArrivalParams arrival_params;
     /// Harvesting environment, resolved through the energy trace registry
     /// (energy/trace_registry.hpp). The default — "solar" with an empty
     /// parameter map — is the canonical paper trace, bitwise identical to
@@ -47,6 +53,11 @@ struct ExperimentSetup {
     compress::NetworkDesc network;
     compress::Policy deployed_policy;       ///< reference nonuniform policy
     std::vector<double> exit_accuracy;      ///< oracle accuracy (%) per exit
+    /// The config this setup was built from. Replica machinery and arrival
+    /// patches regenerate event streams through config.arrival_source /
+    /// config.arrival_params so non-canonical replicas stay on the same
+    /// workload process as replica 0.
+    SetupConfig config;
 
     [[nodiscard]] sim::Simulator make_multi_exit_simulator() const {
         return sim::Simulator(trace, multi_exit_sim);

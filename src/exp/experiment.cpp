@@ -206,6 +206,15 @@ PaperSweep make_sweep(const ExperimentSpec& spec, const SweepCli& options) {
         axis.push_back(std::move(patch));
     };
     std::vector<std::vector<SimPatch>> axes;
+    if (!spec.arrivals.empty()) {
+        std::vector<SimPatch> axis;
+        for (const auto& cell : spec.arrivals) {
+            // arrival_patch() trial-builds the source, so unknown names and
+            // bad parameters throw here with the axis context.
+            push_unique(axis, arrival_patch(cell));
+        }
+        axes.push_back(std::move(axis));
+    }
     if (!spec.storage_mj.empty()) {
         std::vector<SimPatch> axis;
         for (const double capacity : spec.storage_mj) {
@@ -227,6 +236,18 @@ PaperSweep make_sweep(const ExperimentSpec& spec, const SweepCli& options) {
                     std::to_string(deadline));
             }
             push_unique(axis, deadline_patch(deadline));
+        }
+        axes.push_back(std::move(axis));
+    }
+    if (!spec.queue_capacity.empty()) {
+        std::vector<SimPatch> axis;
+        for (const int capacity : spec.queue_capacity) {
+            if (capacity < 0) {
+                throw std::invalid_argument(
+                    "queue capacity must be >= 0, got " +
+                    std::to_string(capacity));
+            }
+            push_unique(axis, queue_patch(capacity));
         }
         axes.push_back(std::move(axis));
     }

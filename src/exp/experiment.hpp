@@ -64,10 +64,18 @@ struct ExperimentSpec {
     std::vector<TraceEntry> traces = {TraceEntry{}};
     std::vector<SystemEntry> systems;
     /// Patch axes (empty = axis absent). Non-empty axes cross into a full
-    /// factorial grid in storage -> deadline -> policy -> recovery order via
-    /// cross_patches(), exactly like the hand-written ablation benches.
+    /// factorial grid in arrivals -> storage -> deadline -> queue -> policy
+    /// -> recovery order via cross_patches(), exactly like the hand-written
+    /// ablation benches.
+    /// Request-workload axis ([arrivals.<label>] spec sections or
+    /// arrival_patch() cells): each cell regenerates the event schedule
+    /// through a named arrival source.
+    std::vector<ArrivalCell> arrivals;
     std::vector<double> storage_mj;
     std::vector<double> deadline_s;  ///< infinity = explicit ddl-none cell
+    /// Bounded-request-queue axis: sim::SimConfig::queue_capacity values
+    /// (0 = the historical no-queue cell).
+    std::vector<int> queue_capacity;
     std::vector<std::string> policies;
     /// Power-failure/recovery axis ([recovery.<label>] spec sections or
     /// recovery_patch() cells); multi-exit systems only.

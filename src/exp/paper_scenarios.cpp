@@ -11,6 +11,7 @@
 #include "core/multi_exit_spec.hpp"
 #include "core/oracle_model.hpp"
 #include "core/trace_eval.hpp"
+#include "sim/arrivals/registry.hpp"
 #include "sim/policies/greedy.hpp"
 #include "sim/policies/registry.hpp"
 #include "sim/recovery/registry.hpp"
@@ -139,6 +140,39 @@ SimPatch recovery_patch(const RecoveryCell& cell) {
     return patch;
 }
 
+SimPatch arrival_patch(const ArrivalCell& cell) {
+    // Fail at axis construction, not mid-sweep on a worker thread: trial-
+    // build the source so unknown names and bad parameters surface here.
+    (void)sim::make_arrival_source(cell.source, cell.params);
+    const std::string label = cell.label.empty() ? cell.source : cell.label;
+    SimPatch patch;
+    patch.label = "arr-" + label;
+    patch.dims = {{"arrivals", label}};
+    patch.apply_setup = [source = cell.source,
+                         params = cell.params](core::ExperimentSetup& setup) {
+        setup.config.arrival_source = source;
+        setup.config.arrival_params = params;
+        setup.events = sim::generate_arrivals(
+            source,
+            {setup.config.event_count, setup.trace.duration(),
+             setup.config.event_seed},
+            params);
+    };
+    return patch;
+}
+
+SimPatch queue_patch(int capacity) {
+    IMX_EXPECTS(capacity >= 0);
+    SimPatch patch;
+    const std::string value = std::to_string(capacity);
+    patch.label = "q" + value;
+    patch.dims = {{"queue_capacity", value}};
+    patch.apply = [capacity](sim::SimConfig& cfg) {
+        cfg.queue_capacity = capacity;
+    };
+    return patch;
+}
+
 std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
                                     const std::vector<SimPatch>& b) {
     std::vector<SimPatch> product;
@@ -156,6 +190,14 @@ std::vector<SimPatch> cross_patches(const std::vector<SimPatch>& a,
                 if (apply_a) apply_a(cfg);
                 if (apply_b) apply_b(cfg);
             };
+            if (pa.apply_setup || pb.apply_setup) {
+                combined.apply_setup =
+                    [setup_a = pa.apply_setup,
+                     setup_b = pb.apply_setup](core::ExperimentSetup& setup) {
+                        if (setup_a) setup_a(setup);
+                        if (setup_b) setup_b(setup);
+                    };
+            }
             combined.policy = pb.policy.empty() ? pa.policy : pb.policy;
             product.push_back(std::move(combined));
         }
@@ -189,10 +231,11 @@ ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
     std::vector<sim::Event> events = setup.events;
     if (ctx.replica != 0) {
         std::uint64_t state = ctx.seed ^ 0x6576656eULL;  // "even"
-        events = sim::generate_events({static_cast<int>(setup.events.size()),
-                                       setup.trace.duration(),
-                                       sim::ArrivalKind::kUniform,
-                                       util::splitmix64(state)});
+        events = sim::generate_arrivals(
+            setup.config.arrival_source,
+            {static_cast<int>(setup.events.size()), setup.trace.duration(),
+             util::splitmix64(state)},
+            setup.config.arrival_params);
     }
 
     switch (system.kind) {
@@ -226,11 +269,15 @@ ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
             // the historical Q-learning path), then evaluate frozen.
             if (auto* learner =
                     dynamic_cast<sim::QLearningExitPolicy*>(policy.get())) {
+                // Training episodes draw the canonical uniform stream
+                // regardless of the evaluation workload (pinned: matches the
+                // historical Q-learning path bitwise; the bench goldens
+                // train-on-uniform / evaluate-on-cell by design).
                 for (int ep = 0; ep < system.train_episodes; ++ep) {
-                    const auto train_events = sim::generate_events(
+                    const auto train_events = sim::generate_arrivals(
+                        "uniform",
                         {static_cast<int>(setup.events.size()),
-                         setup.trace.duration(), sim::ArrivalKind::kUniform,
-                         train_seed(ctx, ep)});
+                         setup.trace.duration(), train_seed(ctx, ep)});
                     const auto r = simulator.run(train_events, model, *policy);
                     if (learning_curve != nullptr) {
                         learning_curve->push_back(100.0 *
@@ -268,11 +315,14 @@ std::vector<ScenarioSpec> build_paper_scenarios(const PaperSweep& sweep) {
             // Apply the patch once per (trace, patch) cell; scenarios share
             // the resulting immutable setup instead of copying it per run.
             auto cell = base;
-            if (patch.apply) {
+            if (patch.apply || patch.apply_setup) {
                 auto patched =
                     std::make_shared<core::ExperimentSetup>(*base);
-                patch.apply(patched->multi_exit_sim);
-                patch.apply(patched->checkpointed_sim);
+                if (patch.apply) {
+                    patch.apply(patched->multi_exit_sim);
+                    patch.apply(patched->checkpointed_sim);
+                }
+                if (patch.apply_setup) patch.apply_setup(*patched);
                 cell = std::move(patched);
             }
             for (const auto& base_system : systems) {

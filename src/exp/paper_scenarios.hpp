@@ -76,6 +76,11 @@ struct TraceSpec {
 struct SimPatch {
     std::string label;
     std::function<void(sim::SimConfig&)> apply;
+    /// Optional setup-level hook, applied once to the cell's copied setup
+    /// (after `apply` patched both SimConfigs). Axes that change the
+    /// workload itself — e.g. arrival_patch() regenerating the event
+    /// schedule — live here; sim-config-only axes leave it empty.
+    std::function<void(core::ExperimentSetup&)> apply_setup;
     /// Extra axis labels merged into every member spec's dims (and therefore
     /// into aggregate CSV columns), e.g. {"storage_mj", "3.0"}.
     std::map<std::string, std::string> dims;
@@ -129,6 +134,31 @@ struct RecoveryCell {
 /// are validated at patch construction by trial-building the strategy.
 /// Labels the cell "rec-<label>" with dims {"recovery", <label>}.
 SimPatch recovery_patch(const RecoveryCell& cell);
+
+/// One cell of the request-workload axis: an arrival registry source plus
+/// its parameters.
+struct ArrivalCell {
+    /// Cell label (the axis value, without the "arr-" prefix). Empty
+    /// derives the source name.
+    std::string label;
+    std::string source = "uniform";  ///< sim arrival-registry name
+    sim::ArrivalParams params;
+};
+
+/// Request-workload axis: regenerates the cell's event schedule through the
+/// named arrival source (sim/arrivals/registry.hpp) over the setup's own
+/// trace duration, event count, and event seed, and records the source in
+/// the setup config so replicas >= 1 draw independent streams from the same
+/// process. The source name and parameters are validated at patch
+/// construction by trial-building the source. Labels the cell
+/// "arr-<label>" with dims {"arrivals", <label>}.
+SimPatch arrival_patch(const ArrivalCell& cell);
+
+/// Bounded-request-queue axis: sets sim::SimConfig::queue_capacity (0 = the
+/// historical no-queue model). Labels the cell "qN" with dims
+/// {"queue_capacity", "N"}.
+/// \pre capacity >= 0.
+SimPatch queue_patch(int capacity);
 
 /// Cross product of two patch axes, in a-major order: each combination
 /// applies both patches (a's then b's), joins non-empty labels with "+",

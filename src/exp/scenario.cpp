@@ -27,11 +27,16 @@ MetricMap sim_metrics(const sim::SimResult& result) {
     m["processed"] = static_cast<double>(result.processed_count());
     m["missed"] = static_cast<double>(result.missed_count());
     m["event_latency_s"] = result.mean_event_latency_s();
+    m["p50_latency_s"] = result.latency_percentile_s(0.50);
+    m["p95_latency_s"] = result.latency_percentile_s(0.95);
+    m["p99_latency_s"] = result.latency_percentile_s(0.99);
     m["inference_latency_s"] = result.mean_inference_latency_s();
     m["inference_macs_m"] = result.mean_inference_macs() / 1e6;
     m["deadline_miss_pct"] = 100.0 * result.deadline_miss_rate();
     m["harvested_mj"] = result.total_harvested_mj;
     m["consumed_mj"] = result.total_consumed_mj();
+    m["dropped"] = static_cast<double>(result.dropped);
+    m["in_flight"] = static_cast<double>(result.in_flight);
     m["deaths"] = static_cast<double>(result.deaths);
     m["recovery_mj"] = result.recovery_energy_mj;
     m["wasted_macs_m"] = static_cast<double>(result.wasted_macs) / 1e6;

@@ -66,9 +66,11 @@ std::uint64_t scenario_seed(std::uint64_t base_seed, const std::string& group,
 
 /// The standard scalar metrics extracted from a simulation result. Keys:
 /// iepmj, acc_all_pct, acc_processed_pct, processed, missed,
-/// event_latency_s, inference_latency_s, inference_macs_m,
-/// deadline_miss_pct (0 when the run had no deadline), harvested_mj,
-/// consumed_mj.
+/// event_latency_s, p50/p95/p99_latency_s (nearest-rank per-event latency
+/// percentiles), inference_latency_s, inference_macs_m,
+/// deadline_miss_pct (0 when the run had no deadline), dropped and
+/// in_flight (queue accounting; 0 without a bounded queue), harvested_mj,
+/// consumed_mj, deaths, recovery_mj, wasted_macs_m.
 MetricMap sim_metrics(const sim::SimResult& result);
 
 }  // namespace imx::exp

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "energy/trace_registry.hpp"
+#include "sim/arrivals/registry.hpp"
 #include "sim/recovery/registry.hpp"
 #include "util/kvfile.hpp"
 
@@ -105,14 +106,19 @@ std::vector<double> parse_double_list(const std::string& origin,
     return values;
 }
 
-sim::ArrivalKind parse_arrivals(const std::string& origin,
-                                const util::KvEntry& entry) {
-    if (entry.value == "uniform") return sim::ArrivalKind::kUniform;
-    if (entry.value == "poisson") return sim::ArrivalKind::kPoisson;
-    if (entry.value == "bursty") return sim::ArrivalKind::kBursty;
-    fail(origin, entry.line,
-         "key 'arrivals' expects uniform, poisson, or bursty, got '" +
-             entry.value + "'");
+std::string parse_arrivals(const std::string& origin,
+                           const util::KvEntry& entry) {
+    if (!sim::has_arrival_source(entry.value)) {
+        std::string names;
+        for (const auto& name : sim::arrival_source_names()) {
+            if (!names.empty()) names += ", ";
+            names += name;
+        }
+        fail(origin, entry.line,
+             "key '" + entry.key + "' expects a registered arrival source (" +
+                 names + "), got '" + entry.value + "'");
+    }
+    return entry.value;
 }
 
 [[noreturn]] void unknown_key(const std::string& origin,
@@ -218,7 +224,7 @@ TraceEntry parse_trace(const std::string& origin,
         } else if (entry.key == "event_seed") {
             trace.config.event_seed = parse_uint64(origin, entry);
         } else if (entry.key == "arrivals") {
-            trace.config.arrivals = parse_arrivals(origin, entry);
+            trace.config.arrival_source = parse_arrivals(origin, entry);
         } else {
             // Candidate source parameter; validated against the source's
             // declared key list (and by a trial build) below, once the
@@ -398,6 +404,80 @@ RecoveryCell parse_recovery(const std::string& origin,
     return cell;
 }
 
+/// Parse an `[arrivals.<label>]` section into one cell of the
+/// request-workload axis. `source` must name a registered arrival source;
+/// every other key must be a declared parameter of that source.
+ArrivalCell parse_arrival_cell(const std::string& origin,
+                               const util::KvSection& section,
+                               const std::string& spec_dir) {
+    ArrivalCell cell;
+    cell.label = section.name.substr(std::string("arrivals.").size());
+    if (cell.label.empty()) {
+        fail(origin, section.line,
+             "[arrivals.] requires a label after the dot");
+    }
+    bool saw_source = false;
+    std::vector<const util::KvEntry*> param_entries;
+    for (const auto& entry : section.entries) {
+        if (entry.key == "source") {
+            saw_source = true;
+            if (!sim::has_arrival_source(entry.value)) {
+                // Reuse the registry's own diagnostic (it lists every
+                // registered source).
+                try {
+                    (void)sim::arrival_source_description(entry.value);
+                } catch (const std::invalid_argument& e) {
+                    fail(origin, entry.line, e.what());
+                }
+            }
+            cell.source = entry.value;
+        } else {
+            // Candidate source parameter; validated against the source's
+            // declared key list (and by a trial build) below, once the
+            // whole section — including a later `source =` line — is read.
+            param_entries.push_back(&entry);
+            cell.params[entry.key] = entry.value;
+        }
+    }
+    if (!saw_source) {
+        fail(origin, section.line,
+             "[" + section.name + "] requires 'source = <name>'");
+    }
+    const auto known_params = sim::arrival_source_param_names(cell.source);
+    if (!known_params.empty()) {
+        for (const auto* entry : param_entries) {
+            if (std::find(known_params.begin(), known_params.end(),
+                          entry->key) != known_params.end()) {
+                continue;
+            }
+            fail(origin, entry->line,
+                 "unknown key '" + entry->key + "' in [" + section.name +
+                     "] (neither 'source' nor a parameter of source '" +
+                     cell.source +
+                     "', which accepts: " + join_names(known_params) + ")");
+        }
+    }
+
+    // A relative file `path` resolves against the spec file's directory,
+    // exactly like a csv trace's.
+    const auto path_param = cell.params.find("path");
+    if (path_param != cell.params.end() && !spec_dir.empty() &&
+        !path_param->second.empty() && path_param->second.front() != '/') {
+        path_param->second = spec_dir + "/" + path_param->second;
+    }
+
+    // Trial-build the source (file sources read their file here) and draw a
+    // tiny schedule, so bad parameter values fail with a file:line
+    // diagnostic instead of deep inside the sweep expansion.
+    try {
+        const auto trial = sim::make_arrival_source(cell.source, cell.params);
+        (void)trial->generate({/*count=*/8, /*duration_s=*/100.0, /*seed=*/1});
+    } catch (const std::exception& e) {
+        fail(origin, section.line, e.what());
+    }
+    return cell;
+}
+
 /// A single-key patch section: rejects anything but `key`, requires it.
 std::vector<double> patch_values(const std::string& origin,
                                  const util::KvSection& section,
@@ -446,6 +526,7 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
     spec.traces.clear();  // [trace] sections replace the default
     bool saw_sweep = false;
     bool saw_storage = false, saw_deadline = false, saw_policy = false;
+    bool saw_queue = false;
     for (const auto& section : sections) {
         if (section.name == "sweep") {
             if (saw_sweep) {
@@ -477,6 +558,42 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
             }
             saw_deadline = true;
             spec.deadline_s = patch_values(origin, section, "deadline_s");
+        } else if (section.name == "patch.queue") {
+            if (saw_queue) {
+                fail(origin, section.line, "duplicate [patch.queue]");
+            }
+            saw_queue = true;
+            for (const auto& entry : section.entries) {
+                if (entry.key != "capacity") {
+                    unknown_key(origin, "patch.queue", entry);
+                }
+                for (const auto& item : parse_list(origin, entry)) {
+                    const double value = parse_double(origin, entry, item);
+                    const int capacity = static_cast<int>(value);
+                    if (value != static_cast<double>(capacity) ||
+                        capacity < 0) {
+                        fail(origin, entry.line,
+                             "key 'capacity' in [patch.queue] expects "
+                             "non-negative integers, got '" +
+                                 item + "'");
+                    }
+                    spec.queue_capacity.push_back(capacity);
+                }
+            }
+            if (spec.queue_capacity.empty()) {
+                fail(origin, section.line,
+                     "[patch.queue] requires 'capacity = c1, c2, ...'");
+            }
+        } else if (section.name.rfind("arrivals.", 0) == 0) {
+            const ArrivalCell cell =
+                parse_arrival_cell(origin, section, spec_dir);
+            for (const auto& existing : spec.arrivals) {
+                if (existing.label == cell.label) {
+                    fail(origin, section.line,
+                         "duplicate arrivals label '" + cell.label + "'");
+                }
+            }
+            spec.arrivals.push_back(cell);
         } else if (section.name.rfind("recovery.", 0) == 0) {
             const RecoveryCell cell = parse_recovery(origin, section);
             for (const auto& existing : spec.recoveries) {
@@ -505,8 +622,8 @@ ExperimentSpec parse_experiment_spec(const std::string& text,
             fail(origin, section.line,
                  "unknown section [" + section.name +
                      "] (expected sweep, trace, trace.<label>, system, "
-                     "patch.storage, patch.deadline, patch.policy, "
-                     "recovery.<label>)");
+                     "arrivals.<label>, patch.storage, patch.deadline, "
+                     "patch.queue, patch.policy, recovery.<label>)");
         }
     }
     if (!saw_sweep) {

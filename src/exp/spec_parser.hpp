@@ -21,7 +21,10 @@
 ///     total_harvest_mj = 281.5
 ///     trace_seed = 7
 ///     event_seed = 99
-///     arrivals = uniform       # uniform | poisson | bursty
+///     arrivals = uniform       # any registered arrival source name
+///                              # (uniform | poisson | bursty | mmpp |
+///                              # diurnal | csv); parameterised workloads
+///                              # use [arrivals.<label>] sections instead
 ///
 ///     [trace.rf-lab]           # label from the header; same keys as
 ///     source = rf-bursty       # [trace] plus a harvesting source from the
@@ -40,10 +43,19 @@
 ///     train_episodes = 12
 ///     quick_train_episodes = 4
 ///
+///     [arrivals.flash-crowd]   # optional, repeatable: request-workload
+///     source = bursty          # axis. `source` names a registered arrival
+///     burst_min = 6            # source (docs/workloads.md); every other
+///     burst_max = 12           # key must be a parameter that source
+///     jitter_s = 2             # declares. Cells regenerate the event
+///                              # schedule per scenario.
+///
 ///     [patch.storage]          # each patch.* section at most once; the
 ///     capacity_mj = 3, 6, 12   # present axes cross into a full factorial
-///     [patch.deadline]         # grid (storage x deadline x policy order)
-///     deadline_s = 60, inf
+///     [patch.deadline]         # grid (arrivals x storage x deadline x
+///     deadline_s = 60, inf     # queue x policy x recovery order)
+///     [patch.queue]            # bounded request queue; 0 = the historical
+///     capacity = 0, 4, 16      # unbuffered model (drop-on-full otherwise)
 ///     [patch.policy]
 ///     policies = greedy, slack-greedy
 ///

@@ -1,0 +1,523 @@
+#include "sim/arrivals/registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace imx::sim {
+
+namespace {
+
+struct ArrivalSourceEntry {
+    ArrivalSourceFactory factory;
+    std::string description;
+    std::vector<std::string> param_names;
+};
+
+std::mutex& registry_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
+
+/// The paper's Sec. V-A stream: `count` arrival times drawn independently
+/// and uniformly over the duration. The sampling order (one uniform() draw
+/// per event, before the shared sort) MUST stay in lockstep with the
+/// historical ArrivalKind::kUniform switch branch: the "uniform" source is
+/// the canonical event schedule, bitwise (tests/test_arrivals.cpp pins it).
+class UniformArrivalSource final : public ArrivalSource {
+public:
+    explicit UniformArrivalSource(const ArrivalParams& params) {
+        ArrivalParamReader reader("uniform", params);
+        reader.done();
+    }
+
+protected:
+    std::vector<Event> sample(const ArrivalContext& ctx) const override {
+        util::Rng rng(ctx.seed);
+        std::vector<Event> events;
+        events.reserve(static_cast<std::size_t>(ctx.count));
+        for (int i = 0; i < ctx.count; ++i) {
+            events.push_back({0, rng.uniform(0.0, ctx.duration_s)});
+        }
+        return events;
+    }
+};
+
+/// Exponential inter-arrivals at rate_scale x (count / duration). Arrivals
+/// that would fall past the horizon wrap to a uniform draw so the schedule
+/// always carries exactly `count` events (the historical kPoisson rule).
+class PoissonArrivalSource final : public ArrivalSource {
+public:
+    explicit PoissonArrivalSource(const ArrivalParams& params) {
+        ArrivalParamReader reader("poisson", params);
+        rate_scale_ = reader.positive("rate_scale", 1.0);
+        reader.done();
+    }
+
+protected:
+    std::vector<Event> sample(const ArrivalContext& ctx) const override {
+        util::Rng rng(ctx.seed);
+        std::vector<Event> events;
+        events.reserve(static_cast<std::size_t>(ctx.count));
+        const double rate =
+            rate_scale_ * static_cast<double>(ctx.count) / ctx.duration_s;
+        double t = 0.0;
+        while (static_cast<int>(events.size()) < ctx.count) {
+            t += rng.exponential(rate);
+            if (t >= ctx.duration_s) t = rng.uniform(0.0, ctx.duration_s);
+            events.push_back({0, t});
+        }
+        return events;
+    }
+
+private:
+    double rate_scale_ = 1.0;
+};
+
+/// Uniformly placed bursts of burst_min..burst_max arrivals, each jittered
+/// within jitter_s of the burst epoch — the historical kBursty stress
+/// stream with its constants exposed as parameters.
+class BurstyArrivalSource final : public ArrivalSource {
+public:
+    explicit BurstyArrivalSource(const ArrivalParams& params) {
+        ArrivalParamReader reader("bursty", params);
+        burst_min_ = static_cast<int>(reader.positive("burst_min", 2.0));
+        burst_max_ = static_cast<int>(reader.positive("burst_max", 5.0));
+        jitter_s_ = reader.positive("jitter_s", 5.0);
+        reader.done();
+        if (burst_min_ > burst_max_) {
+            reader.fail("needs burst_min <= burst_max");
+        }
+    }
+
+protected:
+    std::vector<Event> sample(const ArrivalContext& ctx) const override {
+        util::Rng rng(ctx.seed);
+        std::vector<Event> events;
+        events.reserve(static_cast<std::size_t>(ctx.count));
+        while (static_cast<int>(events.size()) < ctx.count) {
+            const double burst_time = rng.uniform(0.0, ctx.duration_s);
+            const auto burst_size =
+                static_cast<int>(rng.uniform_int(burst_min_, burst_max_));
+            for (int b = 0; b < burst_size &&
+                            static_cast<int>(events.size()) < ctx.count;
+                 ++b) {
+                const double jitter = rng.uniform(0.0, jitter_s_);
+                events.push_back({0, std::min(burst_time + jitter,
+                                              ctx.duration_s - 1e-6)});
+            }
+        }
+        return events;
+    }
+
+private:
+    int burst_min_ = 2;
+    int burst_max_ = 5;
+    double jitter_s_ = 5.0;
+};
+
+/// Two-state Markov-modulated Poisson process: exponential idle and burst
+/// dwells, with arrivals burst_rate_factor times denser during bursts. The
+/// per-state rates are solved so the long-run mean matches count/duration;
+/// like "poisson", arrivals past the horizon wrap to a uniform draw so the
+/// schedule carries exactly `count` events.
+class MmppArrivalSource final : public ArrivalSource {
+public:
+    explicit MmppArrivalSource(const ArrivalParams& params) {
+        ArrivalParamReader reader("mmpp", params);
+        mean_burst_s_ = reader.positive("mean_burst_s", 120.0);
+        mean_idle_s_ = reader.positive("mean_idle_s", 600.0);
+        burst_rate_factor_ = reader.positive("burst_rate_factor", 8.0);
+        reader.done();
+        if (burst_rate_factor_ < 1.0) {
+            reader.fail("burst_rate_factor must be >= 1");
+        }
+    }
+
+protected:
+    std::vector<Event> sample(const ArrivalContext& ctx) const override {
+        util::Rng rng(ctx.seed);
+        std::vector<Event> events;
+        events.reserve(static_cast<std::size_t>(ctx.count));
+        const double mean_rate =
+            static_cast<double>(ctx.count) / ctx.duration_s;
+        // Solve f * (k * r) + (1 - f) * r = mean_rate for the idle rate r,
+        // where f is the long-run burst-state fraction and k the factor.
+        const double burst_fraction =
+            mean_burst_s_ / (mean_burst_s_ + mean_idle_s_);
+        const double idle_rate =
+            mean_rate / (burst_fraction * burst_rate_factor_ +
+                         (1.0 - burst_fraction));
+        const double burst_rate = burst_rate_factor_ * idle_rate;
+
+        bool burst = false;
+        double t = 0.0;
+        double dwell_end = rng.exponential(1.0 / mean_idle_s_);
+        while (static_cast<int>(events.size()) < ctx.count) {
+            const double gap =
+                rng.exponential(burst ? burst_rate : idle_rate);
+            if (t + gap >= dwell_end) {
+                // State switch before the next arrival would land.
+                t = dwell_end;
+                burst = !burst;
+                dwell_end =
+                    t + rng.exponential(burst ? 1.0 / mean_burst_s_
+                                              : 1.0 / mean_idle_s_);
+                continue;
+            }
+            t += gap;
+            if (t >= ctx.duration_s) {
+                // Horizon wrap (poisson rule): restart the walk at a
+                // uniform epoch so the count is always met.
+                t = rng.uniform(0.0, ctx.duration_s);
+                dwell_end = t + rng.exponential(burst ? 1.0 / mean_burst_s_
+                                                      : 1.0 / mean_idle_s_);
+            }
+            events.push_back({0, t});
+        }
+        return events;
+    }
+
+private:
+    double mean_burst_s_ = 120.0;
+    double mean_idle_s_ = 600.0;
+    double burst_rate_factor_ = 8.0;
+};
+
+/// Poisson arrivals whose rate follows a day-cycle profile: intensity
+/// 1 + depth * cos(2 pi (t / period - peak_frac)), peaking at
+/// peak_frac * period into each cycle. Exactly `count` events are placed by
+/// rejection sampling against the intensity envelope.
+class DiurnalArrivalSource final : public ArrivalSource {
+public:
+    explicit DiurnalArrivalSource(const ArrivalParams& params) {
+        ArrivalParamReader reader("diurnal", params);
+        depth_ = reader.fraction("depth", 0.8);
+        peak_frac_ = reader.fraction("peak_frac", 0.5);
+        period_s_ = reader.non_negative("period_s", 0.0);
+        reader.done();
+    }
+
+protected:
+    std::vector<Event> sample(const ArrivalContext& ctx) const override {
+        util::Rng rng(ctx.seed);
+        std::vector<Event> events;
+        events.reserve(static_cast<std::size_t>(ctx.count));
+        // period_s = 0 (the default) means one cycle per run: the horizon
+        // is the day.
+        const double period = period_s_ > 0.0 ? period_s_ : ctx.duration_s;
+        const double two_pi = 2.0 * 3.14159265358979323846;
+        while (static_cast<int>(events.size()) < ctx.count) {
+            const double t = rng.uniform(0.0, ctx.duration_s);
+            const double weight =
+                1.0 + depth_ * std::cos(two_pi * (t / period - peak_frac_));
+            if (rng.uniform(0.0, 1.0 + depth_) <= weight) {
+                events.push_back({0, t});
+            }
+        }
+        return events;
+    }
+
+private:
+    double depth_ = 0.8;
+    double peak_frac_ = 0.5;
+    double period_s_ = 0.0;
+};
+
+/// Time-stamped replay of a real request trace: one arrival per data line,
+/// first comma/whitespace-separated field = arrival time in seconds
+/// (blank lines and '#' comments skipped). Replay is seed-independent;
+/// times outside [0, duration_s) are dropped and the schedule is capped at
+/// the context's event count (quick mode shrinks real traces this way).
+class CsvArrivalSource final : public ArrivalSource {
+public:
+    explicit CsvArrivalSource(const ArrivalParams& params) {
+        ArrivalParamReader reader("csv", params);
+        const std::string path = reader.required_text("path");
+        time_scale_ = reader.positive("time_scale", 1.0);
+        reader.done();
+
+        std::ifstream file(path);
+        if (!file) {
+            reader.fail("cannot open '" + path + "'");
+        }
+        std::string line;
+        int line_no = 0;
+        while (std::getline(file, line)) {
+            ++line_no;
+            const auto first = line.find_first_not_of(" \t\r");
+            if (first == std::string::npos || line[first] == '#') continue;
+            const auto end = line.find_first_of(", \t\r", first);
+            const std::string field =
+                line.substr(first, end == std::string::npos ? std::string::npos
+                                                            : end - first);
+            char* parse_end = nullptr;
+            errno = 0;
+            const double value = std::strtod(field.c_str(), &parse_end);
+            if (parse_end == field.c_str() || *parse_end != '\0' ||
+                errno == ERANGE || !(value >= 0.0)) {
+                reader.fail("'" + path + "' line " + std::to_string(line_no) +
+                            ": expects a non-negative arrival time, got '" +
+                            field + "'");
+            }
+            times_s_.push_back(value);
+        }
+        if (times_s_.empty()) {
+            reader.fail("'" + path + "' contains no arrival times");
+        }
+    }
+
+protected:
+    std::vector<Event> sample(const ArrivalContext& ctx) const override {
+        std::vector<double> times;
+        times.reserve(times_s_.size());
+        for (const double t : times_s_) {
+            const double scaled = t * time_scale_;
+            if (scaled < ctx.duration_s) times.push_back(scaled);
+        }
+        std::sort(times.begin(), times.end());
+        if (static_cast<int>(times.size()) > ctx.count) {
+            times.resize(static_cast<std::size_t>(ctx.count));
+        }
+        std::vector<Event> events;
+        events.reserve(times.size());
+        for (const double t : times) events.push_back({0, t});
+        return events;
+    }
+
+private:
+    std::vector<double> times_s_;
+    double time_scale_ = 1.0;
+};
+
+/// The registry map. An ordered map so arrival_source_names() is sorted
+/// without a separate pass. Built-ins are seeded on first use — no
+/// static-init-order or dead-translation-unit hazards.
+std::map<std::string, ArrivalSourceEntry>& registry_locked() {
+    static std::map<std::string, ArrivalSourceEntry> sources = [] {
+        std::map<std::string, ArrivalSourceEntry> builtins;
+        builtins["uniform"] = {
+            [](const ArrivalParams& params) -> std::unique_ptr<ArrivalSource> {
+                return std::make_unique<UniformArrivalSource>(params);
+            },
+            "independent uniform arrival times (paper Sec. V-A stream)",
+            {}};
+        builtins["poisson"] = {
+            [](const ArrivalParams& params) -> std::unique_ptr<ArrivalSource> {
+                return std::make_unique<PoissonArrivalSource>(params);
+            },
+            "exponential inter-arrivals at the count-implied mean rate",
+            {"rate_scale"}};
+        builtins["bursty"] = {
+            [](const ArrivalParams& params) -> std::unique_ptr<ArrivalSource> {
+                return std::make_unique<BurstyArrivalSource>(params);
+            },
+            "uniformly placed bursts of jittered arrivals",
+            {"burst_min", "burst_max", "jitter_s"}};
+        builtins["mmpp"] = {
+            [](const ArrivalParams& params) -> std::unique_ptr<ArrivalSource> {
+                return std::make_unique<MmppArrivalSource>(params);
+            },
+            "Markov-modulated Poisson process (exponential idle/burst dwells)",
+            {"mean_burst_s", "mean_idle_s", "burst_rate_factor"}};
+        builtins["diurnal"] = {
+            [](const ArrivalParams& params) -> std::unique_ptr<ArrivalSource> {
+                return std::make_unique<DiurnalArrivalSource>(params);
+            },
+            "Poisson arrivals under a day-cycle (cosine) rate profile",
+            {"depth", "peak_frac", "period_s"}};
+        builtins["csv"] = {
+            [](const ArrivalParams& params) -> std::unique_ptr<ArrivalSource> {
+                return std::make_unique<CsvArrivalSource>(params);
+            },
+            "time-stamped replay of a request trace from a CSV file",
+            {"path", "time_scale"}};
+        return builtins;
+    }();
+    return sources;
+}
+
+[[noreturn]] void unknown_source(
+    const std::string& name,
+    const std::map<std::string, ArrivalSourceEntry>& sources) {
+    std::string known;
+    for (const auto& [key, unused] : sources) {
+        (void)unused;
+        if (!known.empty()) known += ", ";
+        known += key;
+    }
+    throw std::invalid_argument("unknown arrival source '" + name +
+                                "' (registered: " + known + ")");
+}
+
+}  // namespace
+
+std::vector<Event> ArrivalSource::generate(const ArrivalContext& ctx) const {
+    IMX_EXPECTS(ctx.count >= 0);
+    IMX_EXPECTS(ctx.duration_s > 0.0);
+    std::vector<Event> events = sample(ctx);
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.time_s < b.time_s; });
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        events[i].id = static_cast<int>(i);
+    }
+    return events;
+}
+
+ArrivalParamReader::ArrivalParamReader(std::string source,
+                                       const ArrivalParams& params)
+    : source_(std::move(source)), params_(params) {}
+
+void ArrivalParamReader::fail(const std::string& message) const {
+    throw std::invalid_argument("arrival source '" + source_ + "': " +
+                                message);
+}
+
+double ArrivalParamReader::parsed_number(const std::string& key,
+                                         double fallback) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+        fail("parameter '" + key + "' expects a number, got '" + it->second +
+             "'");
+    }
+    return value;
+}
+
+double ArrivalParamReader::number(const std::string& key, double fallback) {
+    return parsed_number(key, fallback);
+}
+
+double ArrivalParamReader::positive(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value > 0.0)) {
+        fail("parameter '" + key + "' must be > 0");
+    }
+    return value;
+}
+
+double ArrivalParamReader::non_negative(const std::string& key,
+                                        double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value >= 0.0)) {
+        fail("parameter '" + key + "' must be >= 0");
+    }
+    return value;
+}
+
+double ArrivalParamReader::fraction(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value >= 0.0 && value <= 1.0)) {
+        fail("parameter '" + key + "' must be in [0, 1]");
+    }
+    return value;
+}
+
+std::string ArrivalParamReader::text(const std::string& key,
+                                     const std::string& fallback) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    return it == params_.end() ? fallback : it->second;
+}
+
+std::string ArrivalParamReader::required_text(const std::string& key) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    if (it == params_.end() || it->second.empty()) {
+        fail("requires parameter '" + key + "'");
+    }
+    return it->second;
+}
+
+void ArrivalParamReader::done() const {
+    for (const auto& [key, value] : params_) {
+        (void)value;
+        if (accepted_.count(key)) continue;
+        std::string known;
+        for (const auto& accepted : accepted_) {
+            if (!known.empty()) known += ", ";
+            known += accepted;
+        }
+        fail("unknown parameter '" + key + "' (accepts: " + known + ")");
+    }
+}
+
+std::unique_ptr<ArrivalSource> make_arrival_source(
+    const std::string& source, const ArrivalParams& params) {
+    ArrivalSourceFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex());
+        const auto& sources = registry_locked();
+        const auto it = sources.find(source);
+        if (it == sources.end()) unknown_source(source, sources);
+        factory = it->second.factory;
+    }
+    auto built = factory(params);
+    IMX_EXPECTS(built != nullptr);
+    return built;
+}
+
+std::vector<Event> generate_arrivals(const std::string& source,
+                                     const ArrivalContext& context,
+                                     const ArrivalParams& params) {
+    return make_arrival_source(source, params)->generate(context);
+}
+
+void register_arrival_source(const std::string& name,
+                             ArrivalSourceFactory factory,
+                             std::string description,
+                             std::vector<std::string> param_names) {
+    IMX_EXPECTS(!name.empty());
+    IMX_EXPECTS(factory != nullptr);
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry_locked()[name] = {std::move(factory), std::move(description),
+                               std::move(param_names)};
+}
+
+bool has_arrival_source(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    return registry_locked().count(name) > 0;
+}
+
+std::vector<std::string> arrival_source_names() {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    std::vector<std::string> names;
+    for (const auto& [key, unused] : registry_locked()) {
+        (void)unused;
+        names.push_back(key);
+    }
+    return names;
+}
+
+std::string arrival_source_description(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& sources = registry_locked();
+    const auto it = sources.find(name);
+    if (it == sources.end()) unknown_source(name, sources);
+    return it->second.description;
+}
+
+std::vector<std::string> arrival_source_param_names(const std::string& name) {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& sources = registry_locked();
+    const auto it = sources.find(name);
+    if (it == sources.end()) unknown_source(name, sources);
+    auto names = it->second.param_names;
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+}  // namespace imx::sim

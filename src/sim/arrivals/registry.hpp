@@ -1,0 +1,169 @@
+// Name-based request-arrival registry: string -> ArrivalSource factory, so
+// benches, spec files, and tests can select workload processes without
+// compile-time wiring — the traffic-side sibling of energy/trace_registry,
+// sim/policies/registry, and sim/recovery/registry.
+//
+// Built-in sources (always registered; docs/workloads.md documents every
+// parameter with defaults):
+//  * "uniform" — the paper's Sec. V-A stream ("randomly distributed across
+//                the duration"); with default parameters it is bitwise
+//                identical to the historical ArrivalKind::kUniform stream.
+//  * "poisson" — exponential inter-arrivals at the mean rate implied by the
+//                requested count (optionally scaled).
+//  * "bursty"  — uniformly placed bursts of jittered arrivals (the historical
+//                ArrivalKind::kBursty stress stream, parameters exposed).
+//  * "mmpp"    — Markov-modulated Poisson process: exponential idle/burst
+//                dwells with a rate multiplier during bursts.
+//  * "diurnal" — Poisson process whose rate follows a day-cycle profile
+//                (cosine modulation around a peak time).
+//  * "csv"     — time-stamped replay of a real request trace from a CSV
+//                file (first column = arrival time in seconds).
+//
+// Every source takes a validated key=value parameter map: unknown keys,
+// malformed numbers, and out-of-range values throw std::invalid_argument
+// naming the source, the parameter, and (for unknown keys) everything the
+// source accepts. Custom sources register at runtime through
+// register_arrival_source(); see the worked example in docs/workloads.md.
+// The registry is mutex-guarded, so make_arrival_source() is safe from
+// sweep worker threads.
+#ifndef IMX_SIM_ARRIVALS_REGISTRY_HPP
+#define IMX_SIM_ARRIVALS_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/event_gen.hpp"
+
+namespace imx::sim {
+
+/// Source parameters as parsed text, e.g. {{"mean_burst_s", "120"}}.
+/// Values are validated by the source factory via ArrivalParamReader.
+using ArrivalParams = std::map<std::string, std::string>;
+
+/// What every source receives besides its own parameters: how many events
+/// to schedule, over what horizon, and the deterministic seed (stochastic
+/// sources only). File-backed sources may return fewer events (the file's).
+struct ArrivalContext {
+    int count = 500;
+    double duration_s = 13000.0;
+    std::uint64_t seed = 99;
+};
+
+/// \brief One constructed arrival process. Construction (through the
+/// factory) validates parameters; generate() may then be called any number
+/// of times with different contexts — the replica machinery reuses one
+/// source across independently seeded streams.
+class ArrivalSource {
+public:
+    virtual ~ArrivalSource() = default;
+    ArrivalSource() = default;
+    ArrivalSource(const ArrivalSource&) = delete;
+    ArrivalSource& operator=(const ArrivalSource&) = delete;
+
+    /// \brief Generate the event schedule: time-sorted over [0, duration_s),
+    /// ids renumbered 0..n-1. Deterministic for a fixed context.
+    [[nodiscard]] std::vector<Event> generate(
+        const ArrivalContext& context) const;
+
+protected:
+    /// Raw arrival times in any order; generate() sorts and renumbers.
+    [[nodiscard]] virtual std::vector<Event> sample(
+        const ArrivalContext& context) const = 0;
+};
+
+/// \brief Factory signature: build (and validate) a source for one
+/// parameter map. Must reject unknown keys / bad values with
+/// std::invalid_argument — ArrivalParamReader does both bookkeeping parts.
+using ArrivalSourceFactory =
+    std::function<std::unique_ptr<ArrivalSource>(const ArrivalParams&)>;
+
+/// \brief Typed, validating view over an ArrivalParams map.
+///
+/// Each getter consumes one key (returning the fallback when absent) and
+/// records it as accepted; done() then rejects any key the factory never
+/// asked for, listing everything the source accepts. All errors are
+/// std::invalid_argument prefixed "arrival source '<name>':".
+///
+///     ArrivalParamReader reader("mmpp", params);
+///     cfg.mean_burst_s = reader.positive("mean_burst_s", 120.0);
+///     reader.done();
+class ArrivalParamReader {
+public:
+    ArrivalParamReader(std::string source, const ArrivalParams& params);
+
+    /// Any finite number.
+    double number(const std::string& key, double fallback);
+    /// A number > 0.
+    double positive(const std::string& key, double fallback);
+    /// A number >= 0.
+    double non_negative(const std::string& key, double fallback);
+    /// A number in [0, 1].
+    double fraction(const std::string& key, double fallback);
+    /// Free text (returned verbatim).
+    std::string text(const std::string& key, const std::string& fallback);
+    /// Free text that must be present and non-empty.
+    std::string required_text(const std::string& key);
+
+    /// Reject every key no getter consumed. Call after the last getter.
+    void done() const;
+
+    /// Throw a source-prefixed std::invalid_argument (for cross-parameter
+    /// checks like burst_min <= burst_max).
+    [[noreturn]] void fail(const std::string& message) const;
+
+private:
+    double parsed_number(const std::string& key, double fallback);
+
+    std::string source_;
+    const ArrivalParams& params_;
+    std::set<std::string> accepted_;
+};
+
+/// \brief Build an arrival source from a registered name.
+/// \param source a built-in or register_arrival_source()'d name.
+/// \param params source parameters; unknown keys or bad values throw.
+/// \throws std::invalid_argument for unknown sources (the message lists
+///   every registered name) and for parameter-map violations.
+std::unique_ptr<ArrivalSource> make_arrival_source(
+    const std::string& source, const ArrivalParams& params = {});
+
+/// make_arrival_source(source, params)->generate(context) in one call.
+std::vector<Event> generate_arrivals(const std::string& source,
+                                     const ArrivalContext& context = {},
+                                     const ArrivalParams& params = {});
+
+/// \brief Register (or replace) a named arrival source.
+/// \param name the registry key; must be non-empty.
+/// \param factory invoked by make_arrival_source().
+/// \param description one-liner for listings (imx_sweep --list).
+/// \param param_names the parameter keys the source accepts; consumers
+///   (e.g. the spec parser) use it to reject unknown keys early with
+///   file:line diagnostics. Empty = accept any key at name-check time and
+///   rely on the factory's own validation.
+void register_arrival_source(const std::string& name,
+                             ArrivalSourceFactory factory,
+                             std::string description = "",
+                             std::vector<std::string> param_names = {});
+
+/// \brief Whether `name` is currently registered.
+[[nodiscard]] bool has_arrival_source(const std::string& name);
+
+/// \brief Every registered name, sorted (built-ins plus custom ones).
+[[nodiscard]] std::vector<std::string> arrival_source_names();
+
+/// \brief One-line description of a registered source.
+[[nodiscard]] std::string arrival_source_description(const std::string& name);
+
+/// \brief The parameter keys a source declared at registration (sorted);
+/// empty for sources registered without a key list.
+[[nodiscard]] std::vector<std::string> arrival_source_param_names(
+    const std::string& name);
+
+}  // namespace imx::sim
+
+#endif  // IMX_SIM_ARRIVALS_REGISTRY_HPP

@@ -1,58 +1,23 @@
 #include "sim/event_gen.hpp"
 
-#include <algorithm>
-
+#include "sim/arrivals/registry.hpp"
 #include "util/contracts.hpp"
 
 namespace imx::sim {
 
+const char* arrival_kind_name(ArrivalKind kind) {
+    switch (kind) {
+        case ArrivalKind::kUniform: return "uniform";
+        case ArrivalKind::kPoisson: return "poisson";
+        case ArrivalKind::kBursty: return "bursty";
+    }
+    IMX_EXPECTS(false && "unhandled ArrivalKind");
+    return "uniform";
+}
+
 std::vector<Event> generate_events(const EventGenConfig& config) {
-    IMX_EXPECTS(config.count >= 0);
-    IMX_EXPECTS(config.duration_s > 0.0);
-    util::Rng rng(config.seed);
-    std::vector<Event> events;
-    events.reserve(static_cast<std::size_t>(config.count));
-
-    switch (config.kind) {
-        case ArrivalKind::kUniform: {
-            for (int i = 0; i < config.count; ++i) {
-                events.push_back({0, rng.uniform(0.0, config.duration_s)});
-            }
-            break;
-        }
-        case ArrivalKind::kPoisson: {
-            const double rate =
-                static_cast<double>(config.count) / config.duration_s;
-            double t = 0.0;
-            while (static_cast<int>(events.size()) < config.count) {
-                t += rng.exponential(rate);
-                if (t >= config.duration_s) t = rng.uniform(0.0, config.duration_s);
-                events.push_back({0, t});
-            }
-            break;
-        }
-        case ArrivalKind::kBursty: {
-            while (static_cast<int>(events.size()) < config.count) {
-                const double burst_time = rng.uniform(0.0, config.duration_s);
-                const auto burst_size = static_cast<int>(rng.uniform_int(2, 5));
-                for (int b = 0; b < burst_size &&
-                                static_cast<int>(events.size()) < config.count;
-                     ++b) {
-                    const double jitter = rng.uniform(0.0, 5.0);
-                    events.push_back(
-                        {0, std::min(burst_time + jitter, config.duration_s - 1e-6)});
-                }
-            }
-            break;
-        }
-    }
-
-    std::sort(events.begin(), events.end(),
-              [](const Event& a, const Event& b) { return a.time_s < b.time_s; });
-    for (std::size_t i = 0; i < events.size(); ++i) {
-        events[i].id = static_cast<int>(i);
-    }
-    return events;
+    return generate_arrivals(arrival_kind_name(config.kind),
+                             {config.count, config.duration_s, config.seed});
 }
 
 }  // namespace imx::sim

@@ -14,11 +14,18 @@ struct Event {
     double time_s = 0.0;
 };
 
+/// Legacy arrival-process selector. Each value is sugar for an arrival
+/// registry name (sim/arrivals/registry.hpp) — see arrival_kind_name();
+/// generate_events() delegates to the registry, which owns the generators
+/// (plus the newer "mmpp" / "diurnal" / "csv" sources the enum never had).
 enum class ArrivalKind {
-    kUniform,  ///< paper Sec. V-A: "randomly distributed across the duration"
-    kPoisson,  ///< exponential inter-arrivals at matching mean rate
-    kBursty,   ///< Poisson bursts of 2-5 events (stress test for reservation)
+    kUniform,  ///< "uniform": paper Sec. V-A, random across the duration
+    kPoisson,  ///< "poisson": exponential inter-arrivals at the mean rate
+    kBursty,   ///< "bursty": bursts of 2-5 events (reservation stress test)
 };
+
+/// The arrival-registry name an ArrivalKind is sugar for.
+[[nodiscard]] const char* arrival_kind_name(ArrivalKind kind);
 
 struct EventGenConfig {
     int count = 500;
@@ -27,7 +34,9 @@ struct EventGenConfig {
     std::uint64_t seed = 99;
 };
 
-/// Generate time-sorted events over [0, duration_s).
+/// Generate time-sorted events over [0, duration_s). Sugar for
+/// generate_arrivals(arrival_kind_name(kind), ...) with default parameters,
+/// and bitwise identical to the pre-registry generators.
 std::vector<Event> generate_events(const EventGenConfig& config);
 
 }  // namespace imx::sim

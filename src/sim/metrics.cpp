@@ -1,8 +1,10 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/contracts.hpp"
+#include "util/stats.hpp"
 
 namespace imx::sim {
 
@@ -49,6 +51,19 @@ double SimResult::mean_event_latency_s() const {
         ++n;
     }
     return n == 0 ? 0.0 : sum / n;
+}
+
+double SimResult::latency_percentile_s(double q) const {
+    std::vector<double> latencies;
+    latencies.reserve(records.size());
+    for (const auto& r : records) {
+        if (!r.processed) continue;
+        IMX_ASSERT(r.completion_time_s >= r.arrival_time_s);
+        latencies.push_back(r.completion_time_s - r.arrival_time_s);
+    }
+    if (latencies.empty()) return 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    return util::percentile(latencies, q);
 }
 
 double SimResult::mean_inference_latency_s() const {

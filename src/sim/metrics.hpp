@@ -41,6 +41,19 @@ struct SimResult {
     /// Forward progress thrown away by deaths: MACs of execution units whose
     /// results did not survive a failure and had to be recomputed.
     std::int64_t wasted_macs = 0;
+    /// Arrivals rejected because the bounded request queue was full
+    /// (SimConfig::queue_capacity). Always 0 when the run has no queue —
+    /// arrivals lost while busy then count as plain misses, as they always
+    /// have.
+    int dropped = 0;
+    /// Requests still waiting in the queue — plus the executing one, if any
+    /// — when the trace ended. Like drops they produced no result, so
+    /// missed_count() (= total - processed) includes them; the conservation
+    /// law is total_events == processed_count() + missed_count() with
+    /// missed_count() decomposing into dropped + in_flight + expired
+    /// (deadline/energy losses, the only ones the policy's observe_missed()
+    /// hook sees besides drops). tests/test_arrivals.cpp pins it.
+    int in_flight = 0;
 
     [[nodiscard]] int total_events() const {
         return static_cast<int>(records.size());
@@ -60,6 +73,12 @@ struct SimResult {
 
     /// Mean per-event latency (arrival -> result) over processed events, s.
     [[nodiscard]] double mean_event_latency_s() const;
+
+    /// Exact nearest-rank percentile of per-event latency (arrival ->
+    /// result, i.e. queueing sojourn + execution) over processed events:
+    /// q = 0.5 is the median, 0.95/0.99 the tail columns. 0.0 when no event
+    /// was processed (mirrors mean_event_latency_s()).
+    [[nodiscard]] double latency_percentile_s(double q) const;
 
     /// Mean per-inference latency (execution start -> result), s.
     [[nodiscard]] double mean_inference_latency_s() const;

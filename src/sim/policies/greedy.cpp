@@ -44,4 +44,27 @@ int SlackGreedyPolicy::select_exit(const EnergyState& state,
     return deepest_affordable(state, model, safety_margin_mj_, cap);
 }
 
+QueueSlackGreedyPolicy::QueueSlackGreedyPolicy(double safety_margin_mj,
+                                               SlackSchedule schedule)
+    : safety_margin_mj_(safety_margin_mj), schedule_(std::move(schedule)) {
+    schedule_.validate();
+}
+
+int QueueSlackGreedyPolicy::max_depth_for_backlog(double backlog,
+                                                  int num_exits) {
+    IMX_EXPECTS(num_exits > 0);
+    const double clamped = std::min(std::max(backlog, 0.0), 1.0);
+    const int deepest = num_exits - 1;
+    const int shed = static_cast<int>(clamped * deepest + 0.5);
+    return deepest - shed;
+}
+
+int QueueSlackGreedyPolicy::select_exit(const EnergyState& state,
+                                        const InferenceModel& model) {
+    const int cap = std::min(
+        schedule_.max_depth(state.deadline_slack_s, model.num_exits()),
+        max_depth_for_backlog(state.queue_backlog, model.num_exits()));
+    return deepest_affordable(state, model, safety_margin_mj_, cap);
+}
+
 }  // namespace imx::sim

@@ -66,6 +66,42 @@ private:
     SlackSchedule schedule_;
 };
 
+/// \brief Load-aware variant of the slack-greedy LUT.
+///
+/// Applies the slack-greedy rule under a second depth cap driven by
+/// EnergyState::queue_backlog: as the bounded request queue fills, deep
+/// exits drop out of consideration so the device turns requests around
+/// faster and drains the backlog before it overflows (tail-latency and
+/// drop-rate relief under bursts). The cap is
+///     num_exits-1 - round(queue_backlog * (num_exits-1)),
+/// i.e. unconstrained at an empty queue and exit 0 only at a full one.
+/// With no queue (backlog always 0) the behaviour — and with infinite slack
+/// the whole policy — is identical to SlackGreedyPolicy.
+class QueueSlackGreedyPolicy final : public ExitPolicy {
+public:
+    /// \param safety_margin_mj energy kept in reserve, as in the greedy LUT.
+    /// \param schedule the slack-to-depth schedule (validated on
+    ///   construction).
+    explicit QueueSlackGreedyPolicy(double safety_margin_mj = 0.0,
+                                    SlackSchedule schedule = {});
+
+    int select_exit(const EnergyState& state,
+                    const InferenceModel& model) override;
+    bool continue_inference(const EnergyState&, const InferenceModel&, int,
+                            double) override {
+        return false;
+    }
+
+    /// \brief The backlog-driven depth cap (exposed so tests can pin the
+    /// monotone shedding directly).
+    [[nodiscard]] static int max_depth_for_backlog(double backlog,
+                                                   int num_exits);
+
+private:
+    double safety_margin_mj_;
+    SlackSchedule schedule_;
+};
+
 }  // namespace imx::sim
 
 #endif  // IMX_SIM_POLICIES_GREEDY_HPP

@@ -26,7 +26,8 @@ QLearningExitPolicy::QLearningExitPolicy(int num_exits,
     : num_exits_(num_exits),
       config_(config),
       schedule_(std::move(schedule)),
-      exit_grid_({config.energy_bins, config.rate_bins, config.slack_bins}),
+      exit_grid_({config.energy_bins, config.rate_bins, config.slack_bins,
+                  config.queue_bins}),
       exit_q_(exit_grid_.states(), static_cast<std::size_t>(num_exits),
               config.exit_q, config.seed),
       incremental_q_(config.confidence_bins * config.incremental_energy_bins, 2,
@@ -34,6 +35,7 @@ QLearningExitPolicy::QLearningExitPolicy(int num_exits,
       level_bins_(0.0, 1.0, config.energy_bins),
       rate_bins_(0.0, config.max_rate_mw, config.rate_bins),
       slack_bins_(0.0, config.max_slack_s, config.slack_bins),
+      queue_bins_(0.0, 1.0, config.queue_bins),
       conf_bins_(0.0, 1.0, config.confidence_bins),
       inc_level_bins_(0.0, 1.0, config.incremental_energy_bins) {
     IMX_EXPECTS(num_exits >= 1);
@@ -46,9 +48,12 @@ std::size_t QLearningExitPolicy::exit_state(const EnergyState& s) const {
         level_bins_.bin(s.level_mj / std::max(s.capacity_mj, 1e-9));
     const std::size_t rate_bin = rate_bins_.bin(s.charge_rate_mw);
     // Infinite slack (no deadline) clamps into the top bin, so a slack-blind
-    // configuration (slack_bins == 1) reproduces the historical indices.
+    // configuration (slack_bins == 1) reproduces the historical indices —
+    // and likewise the load-blind queue_bins == 1 (trailing size-1 grid
+    // dimension; backlog is 0 anyway when the run has no queue).
     const std::size_t slack_bin = slack_bins_.bin(s.deadline_slack_s);
-    return exit_grid_.flatten({level_bin, rate_bin, slack_bin});
+    const std::size_t queue_bin = queue_bins_.bin(s.queue_backlog);
+    return exit_grid_.flatten({level_bin, rate_bin, slack_bin, queue_bin});
 }
 
 std::size_t QLearningExitPolicy::incremental_state(const EnergyState& s,

@@ -4,7 +4,8 @@
 ///
 /// Two Q-tables:
 ///  * exit table — state = (stored-energy bin x charging-rate bin
-///    [x deadline-slack bin]), actions = the m exits. Rewards chain between
+///    [x deadline-slack bin] [x queue-backlog bin]), actions = the m exits.
+///    Rewards chain between
 ///    consecutive events (Eq. 16) so the policy learns energy *reservation*:
 ///    a high-accuracy expensive exit now is worth less if it starves the
 ///    next events. Missed events feed a penalty into the pending reward,
@@ -50,6 +51,12 @@ struct RuntimeConfig {
     /// Slack discretizer range, seconds: slack saturates at the top bin
     /// (infinite slack — no deadline — always lands there).
     double max_slack_s = 240.0;
+    /// Queue-backlog bins in the exit-table state. 1 = load-blind (the
+    /// historical state space: a trailing size-1 StateGrid dimension leaves
+    /// every flat index — and therefore the seeded table — unchanged);
+    /// >= 2 discretizes EnergyState::queue_backlog in [0, 1] so the learner
+    /// can shed exit depth when the bounded request queue fills.
+    std::size_t queue_bins = 1;
     rl::QLearningConfig exit_q{/*alpha=*/0.10, /*gamma=*/0.60,
                                /*epsilon=*/0.30, /*epsilon_decay=*/0.9997,
                                /*epsilon_min=*/0.02, /*initial_q=*/0.5};
@@ -145,6 +152,7 @@ private:
     rl::Discretizer level_bins_;
     rl::Discretizer rate_bins_;
     rl::Discretizer slack_bins_;
+    rl::Discretizer queue_bins_;
     rl::Discretizer conf_bins_;
     rl::Discretizer inc_level_bins_;
     bool eval_mode_ = false;

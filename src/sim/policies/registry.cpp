@@ -30,6 +30,10 @@ std::map<std::string, PolicyFactory>& registry_locked() {
             return std::make_unique<SlackGreedyPolicy>(ctx.safety_margin_mj,
                                                        ctx.slack_schedule);
         };
+        builtins["queue-slack-greedy"] = [](const PolicyContext& ctx) {
+            return std::make_unique<QueueSlackGreedyPolicy>(
+                ctx.safety_margin_mj, ctx.slack_schedule);
+        };
         builtins["qlearning"] = [](const PolicyContext& ctx) {
             return std::make_unique<QLearningExitPolicy>(ctx.num_exits,
                                                          ctx.runtime);

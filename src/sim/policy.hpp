@@ -45,6 +45,15 @@ struct EnergyState {
     /// slack-blind built-ins (GreedyAffordablePolicy and the default
     /// Q-learning configuration) ignore it.
     double deadline_slack_s = std::numeric_limits<double>::infinity();
+    /// Requests waiting in the simulator's bounded queue, not counting the
+    /// in-flight one. Always 0 when the run has no queue
+    /// (SimConfig::queue_capacity == 0).
+    int queue_depth = 0;
+    /// Normalized backlog: queue_depth / queue_capacity in [0, 1]; 0.0 when
+    /// the run has no queue. Load-aware policies shed exit depth on this
+    /// signal (QueueSlackGreedyPolicy, and the Q runtime when
+    /// RuntimeConfig::queue_bins > 1).
+    double queue_backlog = 0.0;
 };
 
 /// \brief Abstract runtime exit-selection policy (paper Sec. IV).

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <memory>
 
@@ -43,6 +44,7 @@ Simulator::Simulator(const energy::PowerTrace& trace, const SimConfig& config)
     IMX_EXPECTS(config.dt_s > 0.0);
     IMX_EXPECTS(config.charge_rate_ema_alpha > 0.0 &&
                 config.charge_rate_ema_alpha <= 1.0);
+    IMX_EXPECTS(config.queue_capacity >= 0);
     if (config.recovery.enabled) {
         // The failure model replaces the multi-exit execution path only; a
         // reboot waits for can_turn_on(), so the on threshold must sit at or
@@ -91,6 +93,9 @@ SimResult Simulator::run(const std::vector<Event>& events,
     bool busy = false;
     Job job;
     bool device_on = false;  // checkpointed-mode power state (hysteresis)
+    // Bounded FIFO request queue (indices into events/records). Empty for
+    // the whole run when queue_capacity == 0 — the historical model.
+    std::deque<std::size_t> queue;
 
     auto energy_state = [&](double now) {
         EnergyState s;
@@ -98,6 +103,12 @@ SimResult Simulator::run(const std::vector<Event>& events,
         s.capacity_mj = storage.capacity();
         s.charge_rate_mw = charge_rate.value();
         s.energy_per_mmac_mj = config_.mcu.energy_per_mmac_mj;
+        s.queue_depth = static_cast<int>(queue.size());
+        s.queue_backlog =
+            config_.queue_capacity > 0
+                ? static_cast<double>(queue.size()) /
+                      static_cast<double>(config_.queue_capacity)
+                : 0.0;
         // Remaining time before the in-flight event's completion deadline;
         // infinity when the run has no deadline.
         if (config_.deadline_s !=
@@ -190,18 +201,11 @@ SimResult Simulator::run(const std::vector<Event>& events,
         const double stored = storage.harvest(power, dt);
         charge_rate.update(std::max(stored, 0.0) / dt);
 
-        // 2. Event arrivals: first arrival is picked up if idle; arrivals
-        // while busy are lost.
-        while (next_event < events.size() &&
-               events[next_event].time_s < now + dt) {
-            const Event& ev = events[next_event];
-            EventRecord& record = result.records[next_event];
-            ++next_event;
-            if (busy) {
-                policy.observe_missed();
-                (void)record;  // remains processed=false
-                continue;
-            }
+        // 2. Event arrivals: an arrival is picked up immediately if the
+        // device is idle (and no older request waits ahead of it); otherwise
+        // it queues while there is room, and is lost — a plain miss without
+        // a queue, a counted drop with one — when there is none.
+        auto start_job = [&](const Event& ev) {
             busy = true;
             job = Job{};
             job.event_id = ev.id;
@@ -210,6 +214,36 @@ SimResult Simulator::run(const std::vector<Event>& events,
                 job.remaining_macs = model.exit_macs(0);
                 job.reached_exit = 0;
             }
+        };
+        while (next_event < events.size() &&
+               events[next_event].time_s < now + dt) {
+            const Event& ev = events[next_event];
+            const std::size_t index = next_event;
+            ++next_event;
+            if (busy || !queue.empty()) {
+                if (static_cast<int>(queue.size()) < config_.queue_capacity) {
+                    queue.push_back(index);
+                } else {
+                    if (config_.queue_capacity > 0) ++result.dropped;
+                    policy.observe_missed();  // record remains processed=false
+                }
+                continue;
+            }
+            start_job(ev);
+        }
+
+        // 2b. Idle pickup from the queue head (FIFO). A request whose
+        // wait/completion deadline passed while it queued is hopeless and is
+        // dropped at the head, exactly like the waiting job in step 3.
+        while (!busy && !queue.empty()) {
+            const Event& ev = events[queue.front()];
+            queue.pop_front();
+            if (now - ev.time_s >
+                std::min(config_.max_wait_s, config_.deadline_s)) {
+                policy.observe_missed();
+                continue;
+            }
+            start_job(ev);
         }
 
         if (!busy) continue;
@@ -434,7 +468,10 @@ SimResult Simulator::run(const std::vector<Event>& events,
         }
     }
 
-    // Unfinished in-flight work at trace end counts as missed (no result).
+    // Unfinished in-flight work at trace end produced no result; it is
+    // reported separately from misses so traffic accounting stays exact:
+    // total_events == processed + dropped + in_flight + misses.
+    result.in_flight = static_cast<int>(queue.size()) + (busy ? 1 : 0);
     return result;
 }
 

@@ -67,6 +67,34 @@ double quantile(std::vector<double> sample, double q) {
     return sample[lo] * (1.0 - frac) + sample[hi] * frac;
 }
 
+double percentile(const std::vector<double>& sorted, double q) {
+    IMX_EXPECTS(q >= 0.0 && q <= 1.0);
+    IMX_ASSERT(std::is_sorted(sorted.begin(), sorted.end(),
+                              [](double a, double b) { return a < b; }));
+    if (sorted.empty()) return std::nan("");
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * n)));
+    return sorted[rank - 1];
+}
+
+void PercentileCollector::add(double x) { samples_.push_back(x); }
+
+void PercentileCollector::merge(const PercentileCollector& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+}
+
+double PercentileCollector::percentile(double q) const {
+    std::vector<double> sorted = samples_;
+    // NaNs break std::sort's strict weak ordering; partition them to the
+    // tail first so they land in (and propagate through) high percentiles.
+    const auto finite_end = std::partition(
+        sorted.begin(), sorted.end(), [](double x) { return !std::isnan(x); });
+    std::sort(sorted.begin(), finite_end);
+    return util::percentile(sorted, q);
+}
+
 double mean(const std::vector<double>& sample) {
     if (sample.empty()) return 0.0;
     RunningStats rs;

@@ -155,7 +155,7 @@ TEST(SpecRoundTrip, BurstySlackGridParsesAndExpands) {
                                                 "/bursty_slack_grid.ini");
     EXPECT_EQ(spec.name, "bursty-slack-grid");
     ASSERT_EQ(spec.traces.size(), 2u);
-    EXPECT_EQ(spec.traces[1].config.arrivals, sim::ArrivalKind::kBursty);
+    EXPECT_EQ(spec.traces[1].config.arrival_source, "bursty");
     EXPECT_EQ(spec.traces[1].config.event_seed, 321u);
 
     const auto specs = exp::expand_experiment(spec, {});
@@ -233,7 +233,7 @@ TEST(TraceSections, LabeledHeaderCarriesSourceAndParams) {
     // Trace keys stay trace keys — they never leak into the param map.
     EXPECT_EQ(spec.traces[0].config.trace_params.count("event_seed"), 0u);
     EXPECT_EQ(spec.traces[0].config.event_seed, 321u);
-    EXPECT_EQ(spec.traces[0].config.arrivals, sim::ArrivalKind::kBursty);
+    EXPECT_EQ(spec.traces[0].config.arrival_source, "bursty");
 
     // Default source: solar with its canonical parameters.
     const auto plain =

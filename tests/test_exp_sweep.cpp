@@ -365,9 +365,10 @@ TEST(SimPatch, AppliesToScenarioConfigs) {
     sweep.traces = {{"mini", config}};
     sweep.systems = {{"ours-static", exp::SystemKind::kOursStatic, 0, {}, ""}};
     sweep.patches = {
-        {"base", [](sim::SimConfig&) {}, {}, ""},
+        {"base", [](sim::SimConfig&) {}, {}, {}, ""},
         {"tiny-storage",
          [](sim::SimConfig& c) { c.storage.capacity_mj = 0.8; },
+         {},
          {},
          ""},
     };

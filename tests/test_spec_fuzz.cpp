@@ -82,6 +82,44 @@ std::vector<Case> corpus() {
                             "granularity = layers\n",
                      true});
 
+    // --- Malformed [arrivals.*] / [patch.queue] -----------------------------
+    cases.push_back({"empty arrivals label",
+                     base + "[arrivals.]\nsource = uniform\n", true});
+    cases.push_back({"arrivals section cut before source",
+                     base + "[arrivals.x]\n", true});
+    cases.push_back({"unknown arrival source",
+                     base + "[arrivals.x]\nsource = martian\n", true});
+    cases.push_back({"param of a different source",
+                     base + "[arrivals.x]\nsource = poisson\nburst_min = 2\n",
+                     true});
+    cases.push_back({"non-numeric arrival param",
+                     base + "[arrivals.x]\nsource = poisson\n"
+                            "rate_scale = fast\n",
+                     true});
+    cases.push_back({"negative arrival param",
+                     base + "[arrivals.x]\nsource = bursty\njitter_s = -5\n",
+                     true});
+    cases.push_back({"inverted burst bounds",
+                     base + "[arrivals.x]\nsource = bursty\nburst_min = 9\n"
+                            "burst_max = 3\n",
+                     true});
+    cases.push_back({"csv arrivals without a path",
+                     base + "[arrivals.x]\nsource = csv\n", true});
+    cases.push_back({"csv arrivals with a missing file",
+                     base + "[arrivals.x]\nsource = csv\n"
+                            "path = does-not-exist.csv\n",
+                     true});
+    cases.push_back({"negative queue capacity",
+                     base + "[patch.queue]\ncapacity = 4, -1\n", true});
+    cases.push_back({"fractional queue capacity",
+                     base + "[patch.queue]\ncapacity = 2.5\n", true});
+    cases.push_back({"non-numeric queue capacity",
+                     base + "[patch.queue]\ncapacity = lots\n", true});
+    cases.push_back({"queue section without capacities",
+                     base + "[patch.queue]\n", true});
+    cases.push_back({"unknown queue key",
+                     base + "[patch.queue]\nsize = 4\n", true});
+
     // --- Duplicates ---------------------------------------------------------
     cases.push_back({"duplicate recovery labels",
                      base + "[recovery.x]\nstrategy = restart\n"
@@ -93,6 +131,14 @@ std::vector<Case> corpus() {
                      true});
     cases.push_back({"duplicate sweep section",
                      base + "[sweep]\nname = again\n", true});
+    cases.push_back({"duplicate arrivals labels",
+                     base + "[arrivals.x]\nsource = uniform\n"
+                            "[arrivals.x]\nsource = poisson\n",
+                     true});
+    cases.push_back({"duplicate patch.queue section",
+                     base + "[patch.queue]\ncapacity = 1\n"
+                            "[patch.queue]\ncapacity = 2\n",
+                     true});
 
     // --- Non-UTF8 / binary junk ---------------------------------------------
     cases.push_back({"latin-1 bytes as a line",

@@ -225,6 +225,59 @@ TEST(Stats, QuantileInterpolates) {
     EXPECT_NEAR(quantile(v, 0.5), 2.5, 1e-12);
 }
 
+TEST(Stats, PercentileIsExactNearestRank) {
+    const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+    // Nearest rank never interpolates: every answer is a sample value.
+    EXPECT_EQ(percentile(sorted, 0.0), 1.0);
+    EXPECT_EQ(percentile(sorted, 0.2), 1.0);  // ceil(0.2 * 5) = rank 1
+    EXPECT_EQ(percentile(sorted, 0.5), 3.0);
+    EXPECT_EQ(percentile(sorted, 0.9), 5.0);
+    EXPECT_EQ(percentile(sorted, 1.0), 5.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+    // Empty sample: quiet NaN, not a crash or a sentinel.
+    EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+    // A single sample is every percentile.
+    const std::vector<double> one = {42.0};
+    EXPECT_EQ(percentile(one, 0.0), 42.0);
+    EXPECT_EQ(percentile(one, 0.5), 42.0);
+    EXPECT_EQ(percentile(one, 1.0), 42.0);
+    // NaNs at the tail propagate into high percentiles instead of silently
+    // vanishing; low percentiles stay finite.
+    const std::vector<double> tail_nan = {1.0, 2.0,
+                                          std::numeric_limits<double>::quiet_NaN()};
+    EXPECT_EQ(percentile(tail_nan, 0.5), 2.0);
+    EXPECT_TRUE(std::isnan(percentile(tail_nan, 1.0)));
+}
+
+TEST(Stats, PercentileCollectorMergeMatchesCombinedStream) {
+    Rng rng(11);
+    PercentileCollector a, b, all;
+    for (int i = 0; i < 401; ++i) {
+        const double v = rng.uniform(-3.0, 12.0);
+        (i % 3 == 0 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    ASSERT_EQ(a.count(), all.count());
+    for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+        // Exact, order-independent: bitwise equality, not tolerance.
+        EXPECT_EQ(a.percentile(q), all.percentile(q)) << q;
+    }
+    PercentileCollector empty;
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_TRUE(std::isnan(empty.percentile(0.5)));
+    // NaN samples survive collection (partitioned to the tail, see
+    // percentile()'s contract) without poisoning the finite percentiles.
+    PercentileCollector with_nan;
+    with_nan.add(1.0);
+    with_nan.add(std::numeric_limits<double>::quiet_NaN());
+    with_nan.add(0.5);
+    EXPECT_EQ(with_nan.percentile(0.5), 1.0);
+    EXPECT_TRUE(std::isnan(with_nan.percentile(1.0)));
+}
+
 TEST(Stats, PearsonPerfectCorrelation) {
     std::vector<double> xs = {1, 2, 3, 4, 5};
     std::vector<double> ys = {2, 4, 6, 8, 10};
