@@ -7,7 +7,7 @@
 //        imx_sweep --list                      list registered experiments
 // Options: [--quick] [--replicas N] [--threads N] [--csv PATH]
 //          [--base-seed N] [--shard i/N] [--journal PATH] [--resume]
-//          [--merge PATH]... [--dry-run]
+//          [--merge PATH]... [--dry-run] [--profile]
 // --dry-run prints the expanded scenario grid (id, seed, dims) without
 // executing anything — CI uses it to validate every shipped spec cheaply;
 // with --shard it prints only that shard's slice. --shard/--journal/
@@ -22,13 +22,10 @@
 #include <string>
 #include <vector>
 
-#include "energy/trace_registry.hpp"
 #include "exp/cli.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "exp/spec_parser.hpp"
-#include "sim/arrivals/registry.hpp"
-#include "sim/recovery/registry.hpp"
 
 using namespace imx;
 
@@ -40,32 +37,12 @@ constexpr const char* kUsage =
     "       imx_sweep --list                list registered experiments\n"
     "options: [--quick] [--replicas N] [--threads N] [--csv PATH]\n"
     "         [--base-seed N] [--shard i/N] [--journal PATH] [--resume]\n"
-    "         [--merge PATH]... [--dry-run]\n";
+    "         [--merge PATH]... [--dry-run] [--profile]\n";
 
 int list_experiments() {
-    std::printf("registered experiments:\n");
-    for (const auto& name : exp::experiment_names()) {
-        std::printf("  %-28s %s\n", name.c_str(),
-                    exp::experiment_description(name).c_str());
-    }
-    std::printf("\nregistered trace sources (spec `[trace.<label>]` "
-                "sections, docs/energy-sources.md):\n");
-    for (const auto& name : energy::trace_source_names()) {
-        std::printf("  %-28s %s\n", name.c_str(),
-                    energy::trace_source_description(name).c_str());
-    }
-    std::printf("\nregistered arrival sources (spec `[arrivals.<label>]` "
-                "sections, docs/workloads.md):\n");
-    for (const auto& name : sim::arrival_source_names()) {
-        std::printf("  %-28s %s\n", name.c_str(),
-                    sim::arrival_source_description(name).c_str());
-    }
-    std::printf("\nregistered recovery strategies (spec `[recovery.<label>]` "
-                "sections, docs/recovery.md):\n");
-    for (const auto& name : sim::recovery_strategy_names()) {
-        std::printf("  %-28s %s\n", name.c_str(),
-                    sim::recovery_strategy_description(name).c_str());
-    }
+    // The four registry sections live in the library (exp::describe_all) so
+    // every tool lists the world identically; only the usage hint is ours.
+    exp::describe_all(stdout);
     std::printf(
         "\nrun one with `imx_sweep <name>`, or declare your own grid in a "
         "spec file (docs/experiments.md) and run `imx_sweep --spec FILE`.\n"

@@ -3,9 +3,16 @@
 # BENCH_sweep.json so CI's artifact trail tracks a scenarios/second
 # trajectory over time (grid label, wall seconds, scenario count, rate).
 #
-# Usage: scripts/perf_smoke.sh [BUILD_DIR] [OUTPUT_JSON]
+# Usage: scripts/perf_smoke.sh [BUILD_DIR] [OUTPUT_JSON] [PROFILE_JSON]
 #   BUILD_DIR    defaults to "build"
 #   OUTPUT_JSON  defaults to "BENCH_sweep.json"
+#   PROFILE_JSON defaults to "BENCH_profile.json"
+#
+# After the timed cases, one grid is re-run under --profile to attribute
+# hot-path time to the five simulator phases (docs/profiling.md). The
+# breakdown is written to PROFILE_JSON (uploaded by CI next to OUTPUT_JSON)
+# and embedded into OUTPUT_JSON as "profile" so the committed baseline
+# carries phase shares for scripts/perf_trend.py's drift warning.
 #
 # Runs in quick mode so a CI lane finishes in seconds; the numbers are for
 # trend lines (regressions of 2x show up clearly), not for microbenchmark
@@ -14,6 +21,7 @@ set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_sweep.json}
+PROFILE_OUT=${3:-BENCH_profile.json}
 SWEEP="$BUILD_DIR/imx_sweep"
 SPEC_DIR="$(cd "$(dirname "$0")/.." && pwd)/examples/experiments"
 
@@ -82,6 +90,19 @@ run_case "fig5-iepmj shard 0/2 (--quick --replicas 2 --shard 0/2 --journal)" \
          fig5-iepmj --quick --replicas 2 --shard 0/2 \
          --journal "$BUILD_DIR/perf_shard0.jsonl"
 
-printf '{\n  "bench": "imx_sweep perf smoke",\n  "commit": "%s",\n  "host_cores": %s,\n  "results": [%s\n  ]\n}\n' \
-       "$commit" "$host_cores" "$entries" > "$OUT"
+# Phase attribution (docs/profiling.md): one profiled quick grid. Not a
+# run_case — profiling hooks add clock reads, so this wall time is not
+# comparable to the unprofiled trend lines above. imx_sweep writes the
+# breakdown to ./BENCH_profile.json; relocate it if the caller asked for a
+# different path.
+echo "  harvester_ablation.ini (--quick --profile) -> $PROFILE_OUT"
+"$SWEEP" --spec "$SPEC_DIR/harvester_ablation.ini" --quick --profile \
+    > /dev/null
+if [ "$PROFILE_OUT" != "BENCH_profile.json" ]; then
+    mv BENCH_profile.json "$PROFILE_OUT"
+fi
+profile=$(cat "$PROFILE_OUT")
+
+printf '{\n  "bench": "imx_sweep perf smoke",\n  "commit": "%s",\n  "host_cores": %s,\n  "profile": %s,\n  "results": [%s\n  ]\n}\n' \
+       "$commit" "$host_cores" "$profile" "$entries" > "$OUT"
 echo "wrote $OUT"

@@ -12,6 +12,14 @@ wider CI runner stay comparable. A grid present in the baseline but missing
 from the current run is a failure too — silently dropping a grid would hide
 its regressions. New grids pass with a note.
 
+When both files carry a ``profile`` object (the per-phase breakdown
+perf_smoke.sh embeds from the --profile run, docs/profiling.md), phase
+*shares* are compared as well: a phase whose share of total hot-path time
+drifts by more than --phase-factor (default 2.0, either direction) prints a
+warning naming the phase. Warnings never fail the gate — shares shift
+legitimately across hosts — but they localize a whole-grid regression to a
+subsystem before anyone bisects.
+
 After an intentional perf change, refresh the baseline with:
     scripts/perf_smoke.sh build BENCH_sweep.json
     python3 scripts/perf_trend.py --update-baseline
@@ -42,6 +50,38 @@ def load_rates(path):
     return doc, rates
 
 
+def compare_phase_shares(base_doc, cur_doc, factor):
+    """Warn (never fail) when a profiled phase's time share drifts.
+
+    Shares, not absolute ns: wall time varies with the host, but the split
+    of hot-path time across harvest/queue/policy/inference/commit is a
+    property of the code. A phase drifting past ``factor`` either way is
+    the bisect hint the whole-grid scalar cannot give.
+    """
+    base_profile = base_doc.get("profile", {}).get("phases")
+    cur_profile = cur_doc.get("profile", {}).get("phases")
+    if not base_profile or not cur_profile:
+        missing = "baseline" if not base_profile else "current run"
+        print(f"  (no phase profile in the {missing}; share check skipped)")
+        return
+    print(f"phase shares (warn past x{factor:g} drift either way):")
+    for phase in sorted(set(base_profile) | set(cur_profile)):
+        base_share = float(base_profile.get(phase, {}).get("share", 0.0))
+        cur_share = float(cur_profile.get(phase, {}).get("share", 0.0))
+        note = ""
+        # Phases under 1% of either run are noise — a 5x drift of nothing
+        # is still nothing.
+        significant = max(base_share, cur_share) >= 0.01
+        if significant and (
+            cur_share > base_share * factor or base_share > cur_share * factor
+        ):
+            note = "  WARNING: share drifted — likely regression locus"
+        print(
+            f"  {phase:<10}  baseline {base_share * 100:5.1f}%  "
+            f"current {cur_share * 100:5.1f}%{note}"
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail when BENCH_sweep.json regresses vs the baseline."
@@ -61,6 +101,13 @@ def main(argv=None):
         type=float,
         default=2.0,
         help="fail when baseline/current exceeds this (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--phase-factor",
+        type=float,
+        default=2.0,
+        help="warn when a profile phase's share drifts by more than this "
+        "factor either way (default: %(default)s)",
     )
     parser.add_argument(
         "--update-baseline",
@@ -121,6 +168,8 @@ def main(argv=None):
     for grid in sorted(set(cur) - set(base)):
         print(f"  {grid:<{width}}  NEW grid ({cur[grid]:.1f}/s) — "
               "add it to the baseline with --update-baseline")
+
+    compare_phase_shares(base_doc, cur_doc, args.phase_factor)
 
     if failures:
         print("perf trend gate FAILED:", file=sys.stderr)

@@ -1,5 +1,6 @@
 #include "core/accuracy_model.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <mutex>
@@ -202,14 +203,94 @@ void AccuracyModel::calibrate() {
         {&nonuniform, kPaperNonuniformAcc},
     };
 
+    // Specialized survival evaluation for the fit loop. loss_of runs ~10k
+    // times (24 restarts x 400 iterations) and dominated sweep startup, yet
+    // most of survival()'s work is invariant across candidates: the two
+    // anchor *policies* never change, so each layer's quant_harshness() and
+    // knee sigmoid are search constants, and exp(-decay * d) is independent
+    // of the policy, so the two anchors can share one evaluation per layer
+    // instead of recomputing it per path entry. Every retained expression
+    // keeps survival()'s operand order, so the fitted params — and every
+    // accuracy value downstream — are bitwise unchanged (pinned by the
+    // --quick goldens).
+    const std::size_t num_layers = desc_->num_layers();
+    struct AnchorPre {
+        std::vector<double> one_minus_preserve;
+        std::vector<double> knee;    // 1.0 when inactive (alpha >= 0.55)
+        std::vector<double> qh_w;    // 0.0 when weight_bits >= 32 or >= 8
+        std::vector<double> qh_a;    // 0.0 when activation_bits >= 32 or >= 8
+    };
+    // The knee parameters are not fitted (see SensitivityParams): every
+    // candidate carries the defaults, so the knee factors are precomputable.
+    const SensitivityParams knee_ref;
+    std::array<AnchorPre, 2> pre;
+    for (std::size_t a = 0; a < 2; ++a) {
+        const compress::Policy& policy = *anchors[a].policy;
+        AnchorPre& ap = pre[a];
+        ap.one_minus_preserve.resize(num_layers);
+        ap.knee.resize(num_layers);
+        ap.qh_w.resize(num_layers);
+        ap.qh_a.resize(num_layers);
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            const compress::LayerPolicy& lp = policy[l];
+            ap.one_minus_preserve[l] = 1.0 - lp.preserve_ratio;
+            ap.knee[l] = lp.preserve_ratio >= 0.55
+                             ? 1.0
+                             : util::sigmoid(
+                                   (lp.preserve_ratio - knee_ref.prune_knee) /
+                                   knee_ref.prune_knee_width);
+            // bits >= 32 skipped the quant term entirely (term = 1.0);
+            // harshness 0.0 reproduces that bitwise: 1.0 - sq * 0.0 == 1.0.
+            ap.qh_w[l] =
+                lp.weight_bits >= 32 ? 0.0 : quant_harshness(lp.weight_bits);
+            ap.qh_a[l] = lp.activation_bits >= 32
+                             ? 0.0
+                             : quant_harshness(lp.activation_bits);
+        }
+    }
+    std::vector<char> layer_is_fc(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        layer_is_fc[l] =
+            desc_->layers[l].kind == compress::LayerKind::kFc ? 1 : 0;
+    }
+
+    std::vector<double> exp_prune(num_layers);
+    std::vector<double> exp_quant(num_layers);
+    std::vector<double> factor(num_layers);
     auto loss_of = [&](const SensitivityParams& p) {
+        for (std::size_t l = 0; l < num_layers; ++l) {
+            const double d = depth_rank_[l];
+            exp_prune[l] = std::exp(-p.prune_decay * d);
+            exp_quant[l] = std::exp(-p.quant_decay * d);
+        }
         double loss = 0.0;
-        for (const Anchor& a : anchors) {
+        for (std::size_t a = 0; a < 2; ++a) {
+            const AnchorPre& ap = pre[a];
+            for (std::size_t l = 0; l < num_layers; ++l) {
+                const double sp = p.prune_base * exp_prune[l];
+                double sq = p.quant_base * exp_quant[l];
+                if (layer_is_fc[l] != 0) sq *= p.fc_quant_factor;
+                const double sa = p.act_factor * sq;
+                const double prune_term =
+                    (1.0 - sp * std::pow(ap.one_minus_preserve[l],
+                                         p.prune_exponent)) *
+                    ap.knee[l];
+                const double wq_term = 1.0 - sq * ap.qh_w[l];
+                const double aq_term = 1.0 - sa * ap.qh_a[l];
+                factor[l] = util::clamp(prune_term, 0.0, 1.0) *
+                            util::clamp(wq_term, 0.0, 1.0) *
+                            util::clamp(aq_term, 0.0, 1.0);
+            }
             for (int e = 0; e < 3; ++e) {
+                double s = 1.0;
+                for (const int l :
+                     desc_->exit_paths[static_cast<std::size_t>(e)]) {
+                    s *= factor[static_cast<std::size_t>(l)];
+                }
                 const double base = base_[static_cast<std::size_t>(e)];
-                const double acc =
-                    chance_ + (base - chance_) * survival(*a.policy, e, p);
-                const double err = acc - a.target[static_cast<std::size_t>(e)];
+                const double acc = chance_ + (base - chance_) * s;
+                const double err =
+                    acc - anchors[a].target[static_cast<std::size_t>(e)];
                 loss += err * err;
             }
         }

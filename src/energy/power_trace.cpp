@@ -17,13 +17,6 @@ PowerTrace::PowerTrace(double dt_s, std::vector<double> power_mw)
     for (const double p : power_mw_) IMX_EXPECTS(p >= 0.0);
 }
 
-double PowerTrace::power_at(double t) const {
-    if (t < 0.0) return 0.0;
-    const auto idx = static_cast<std::size_t>(t / dt_s_);
-    if (idx >= power_mw_.size()) return 0.0;
-    return power_mw_[idx];
-}
-
 double PowerTrace::energy_between(double t0, double t1) const {
     IMX_EXPECTS(t0 <= t1);
     t0 = std::max(t0, 0.0);

@@ -19,8 +19,15 @@ public:
         return dt_s_ * static_cast<double>(power_mw_.size());
     }
 
-    /// Power at absolute time t (seconds); 0 beyond the end.
-    [[nodiscard]] double power_at(double t) const;
+    /// Power at absolute time t (seconds); 0 beyond the end. Inline: the
+    /// simulator reads one sample per step, and the cross-TU call cost more
+    /// than the lookup.
+    [[nodiscard]] double power_at(double t) const {
+        if (t < 0.0) return 0.0;
+        const auto idx = static_cast<std::size_t>(t / dt_s_);
+        if (idx >= power_mw_.size()) return 0.0;
+        return power_mw_[idx];
+    }
 
     /// Energy harvested in [t0, t1] in millijoules (piecewise-constant
     /// integral, exact for this representation).

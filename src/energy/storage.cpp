@@ -19,35 +19,6 @@ EnergyStorage::EnergyStorage(const StorageConfig& config)
                 config.death_threshold_mj <= config.capacity_mj);
 }
 
-double EnergyStorage::efficiency_at(double power_mw) const {
-    IMX_EXPECTS(power_mw >= 0.0);
-    if (power_mw == 0.0) return 0.0;
-    return config_.efficiency_max * power_mw /
-           (power_mw + config_.efficiency_half_power_mw);
-}
-
-double EnergyStorage::harvest(double power_mw, double dt_s) {
-    IMX_EXPECTS(power_mw >= 0.0 && dt_s >= 0.0);
-    const double gross = power_mw * dt_s;               // mJ at the harvester
-    const double net = gross * efficiency_at(power_mw); // after converter
-    const double leak = config_.leakage_mw * dt_s;
-    const double before = level_mj_;
-    level_mj_ = std::clamp(level_mj_ + net - leak, 0.0, config_.capacity_mj);
-    return level_mj_ - before;
-}
-
-bool EnergyStorage::try_consume(double amount_mj) {
-    IMX_EXPECTS(amount_mj >= 0.0);
-    if (amount_mj > level_mj_) return false;
-    level_mj_ -= amount_mj;
-    return true;
-}
-
-void EnergyStorage::drain(double amount_mj) {
-    IMX_EXPECTS(amount_mj >= 0.0);
-    level_mj_ = std::max(0.0, level_mj_ - amount_mj);
-}
-
 void EnergyStorage::reset(double level_mj) {
     IMX_EXPECTS(level_mj >= 0.0 && level_mj <= config_.capacity_mj);
     level_mj_ = level_mj;

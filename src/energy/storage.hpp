@@ -10,6 +10,8 @@
 #ifndef IMX_ENERGY_STORAGE_HPP
 #define IMX_ENERGY_STORAGE_HPP
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace imx::energy {
@@ -42,23 +44,50 @@ public:
     /// \pre config.capacity_mj > 0, thresholds within capacity.
     explicit EnergyStorage(const StorageConfig& config);
 
+    // harvest/try_consume/drain are defined inline: the simulator calls
+    // them once per step, and the cross-TU call was measurable against the
+    // few float ops they perform. The operations (and their exact float
+    // evaluation order) are unchanged — the --quick goldens pin that.
+
     /// \brief Integrate harvesting at constant input power for dt seconds.
     /// \param power_mw harvested input power over the step.
     /// \param dt_s step length in seconds.
     /// \return the energy actually stored (after efficiency and capping).
-    double harvest(double power_mw, double dt_s);
+    double harvest(double power_mw, double dt_s) {
+        IMX_EXPECTS(power_mw >= 0.0 && dt_s >= 0.0);
+        const double gross = power_mw * dt_s;               // mJ harvested
+        const double net = gross * efficiency_at(power_mw); // after converter
+        const double leak = config_.leakage_mw * dt_s;
+        const double before = level_mj_;
+        level_mj_ =
+            std::clamp(level_mj_ + net - leak, 0.0, config_.capacity_mj);
+        return level_mj_ - before;
+    }
 
     /// \return charging efficiency in [0, efficiency_max] at the given
     ///   input power.
-    [[nodiscard]] double efficiency_at(double power_mw) const;
+    [[nodiscard]] double efficiency_at(double power_mw) const {
+        IMX_EXPECTS(power_mw >= 0.0);
+        if (power_mw == 0.0) return 0.0;
+        return config_.efficiency_max * power_mw /
+               (power_mw + config_.efficiency_half_power_mw);
+    }
 
     /// \brief Attempt to withdraw amount_mj.
     /// \return false (withdrawing nothing) if the level is insufficient.
-    [[nodiscard]] bool try_consume(double amount_mj);
+    [[nodiscard]] bool try_consume(double amount_mj) {
+        IMX_EXPECTS(amount_mj >= 0.0);
+        if (amount_mj > level_mj_) return false;
+        level_mj_ -= amount_mj;
+        return true;
+    }
 
     /// \brief Withdraw unconditionally (level clamps at 0); models a
     /// brown-out where in-progress computation is lost.
-    void drain(double amount_mj);
+    void drain(double amount_mj) {
+        IMX_EXPECTS(amount_mj >= 0.0);
+        level_mj_ = std::max(0.0, level_mj_ - amount_mj);
+    }
 
     [[nodiscard]] double level() const { return level_mj_; }
     [[nodiscard]] double capacity() const { return config_.capacity_mj; }

@@ -1,9 +1,10 @@
+// Thin wrapper over util::Registry<TraceSource>: the public free functions,
+// their error messages, and the registered-name listing are byte-identical
+// to the historical hand-rolled registry. The built-in source factories
+// themselves live here.
 #include "energy/trace_registry.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "energy/rf.hpp"
 #include "energy/solar.hpp"
 #include "util/contracts.hpp"
+#include "util/registry.hpp"
 
 namespace imx::energy {
 
@@ -22,11 +24,6 @@ struct TraceSource {
     std::vector<std::string> param_names;
     bool uses_context_duration = true;
 };
-
-std::mutex& registry_mutex() {
-    static std::mutex mutex;
-    return mutex;
-}
 
 /// The paper's canonical daylight-windowed solar profile. The default
 /// parameter values below MUST stay in lockstep with what
@@ -152,152 +149,58 @@ PowerTrace csv_source(const TraceSourceContext& ctx,
     }
 }
 
-/// The registry map. An ordered map so trace_source_names() is sorted
-/// without a separate pass. Built-ins are seeded on first use — no
+/// The registry instance, seeded with built-ins on first use — no
 /// static-init-order or dead-translation-unit hazards.
-std::map<std::string, TraceSource>& registry_locked() {
-    static std::map<std::string, TraceSource> sources = [] {
-        std::map<std::string, TraceSource> builtins;
-        builtins["solar"] = {
-            solar_source,
-            "diurnal solar profile with OU cloud attenuation (paper setup)",
-            {"peak_power_mw", "sunrise_hour", "sunset_hour",
-             "envelope_exponent", "cloud_theta", "cloud_sigma", "cloud_floor",
-             "window"}};
-        builtins["rf-bursty"] = {
-            rf_bursty_source,
-            "Markov-modulated on/off RF / base-station bursts",
-            {"burst_power_mw", "idle_power_mw", "mean_on_s", "mean_off_s",
-             "power_jitter"}};
-        builtins["ou-wind"] = {
-            ou_wind_source,
-            "wind/thermal-style mean-reverting (OU) drift around a mean",
-            {"mean_power_mw", "reversion_rate", "sigma", "floor_mw"}};
-        builtins["duty-cycle"] = {
-            duty_cycle_source,
-            "deterministic square wave (duty-cycled charger)",
-            {"power_mw", "period_s", "duty"}};
-        builtins["constant"] = {constant_source,
-                                "flat income (no-variability control)",
-                                {"power_mw"}};
-        builtins["csv"] = {csv_source,
-                           "measured trace from a time_s,power_mw CSV file",
-                           {"path"},
-                           /*uses_context_duration=*/false};
-        return builtins;
+util::Registry<TraceSource>& registry() {
+    static util::Registry<TraceSource> instance("trace source");
+    static const bool seeded = [] {
+        instance.add(
+            "solar",
+            {solar_source,
+             "diurnal solar profile with OU cloud attenuation (paper setup)",
+             {"peak_power_mw", "sunrise_hour", "sunset_hour",
+              "envelope_exponent", "cloud_theta", "cloud_sigma",
+              "cloud_floor", "window"}});
+        instance.add(
+            "rf-bursty",
+            {rf_bursty_source,
+             "Markov-modulated on/off RF / base-station bursts",
+             {"burst_power_mw", "idle_power_mw", "mean_on_s", "mean_off_s",
+              "power_jitter"}});
+        instance.add(
+            "ou-wind",
+            {ou_wind_source,
+             "wind/thermal-style mean-reverting (OU) drift around a mean",
+             {"mean_power_mw", "reversion_rate", "sigma", "floor_mw"}});
+        instance.add("duty-cycle",
+                     {duty_cycle_source,
+                      "deterministic square wave (duty-cycled charger)",
+                      {"power_mw", "period_s", "duty"}});
+        instance.add("constant", {constant_source,
+                                  "flat income (no-variability control)",
+                                  {"power_mw"}});
+        instance.add("csv",
+                     {csv_source,
+                      "measured trace from a time_s,power_mw CSV file",
+                      {"path"},
+                      /*uses_context_duration=*/false});
+        return true;
     }();
-    return sources;
-}
-
-[[noreturn]] void unknown_source(
-    const std::string& name,
-    const std::map<std::string, TraceSource>& sources) {
-    std::string known;
-    for (const auto& [key, unused] : sources) {
-        (void)unused;
-        if (!known.empty()) known += ", ";
-        known += key;
-    }
-    throw std::invalid_argument("unknown trace source '" + name +
-                                "' (registered: " + known + ")");
+    (void)seeded;
+    return instance;
 }
 
 }  // namespace
-
-TraceParamReader::TraceParamReader(std::string source,
-                                   const TraceParams& params)
-    : source_(std::move(source)), params_(params) {}
-
-void TraceParamReader::fail(const std::string& message) const {
-    throw std::invalid_argument("trace source '" + source_ + "': " + message);
-}
-
-double TraceParamReader::parsed_number(const std::string& key,
-                                       double fallback) {
-    accepted_.insert(key);
-    const auto it = params_.find(key);
-    if (it == params_.end()) return fallback;
-    char* end = nullptr;
-    errno = 0;
-    const double value = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
-        fail("parameter '" + key + "' expects a number, got '" + it->second +
-             "'");
-    }
-    return value;
-}
-
-double TraceParamReader::number(const std::string& key, double fallback) {
-    return parsed_number(key, fallback);
-}
-
-double TraceParamReader::positive(const std::string& key, double fallback) {
-    const double value = parsed_number(key, fallback);
-    if (!(value > 0.0)) {
-        fail("parameter '" + key + "' must be > 0");
-    }
-    return value;
-}
-
-double TraceParamReader::non_negative(const std::string& key,
-                                      double fallback) {
-    const double value = parsed_number(key, fallback);
-    if (!(value >= 0.0)) {
-        fail("parameter '" + key + "' must be >= 0");
-    }
-    return value;
-}
-
-double TraceParamReader::fraction(const std::string& key, double fallback) {
-    const double value = parsed_number(key, fallback);
-    if (!(value >= 0.0 && value <= 1.0)) {
-        fail("parameter '" + key + "' must be in [0, 1]");
-    }
-    return value;
-}
-
-std::string TraceParamReader::text(const std::string& key,
-                                   const std::string& fallback) {
-    accepted_.insert(key);
-    const auto it = params_.find(key);
-    return it == params_.end() ? fallback : it->second;
-}
-
-std::string TraceParamReader::required_text(const std::string& key) {
-    accepted_.insert(key);
-    const auto it = params_.find(key);
-    if (it == params_.end() || it->second.empty()) {
-        fail("requires parameter '" + key + "'");
-    }
-    return it->second;
-}
-
-void TraceParamReader::done() const {
-    for (const auto& [key, value] : params_) {
-        (void)value;
-        if (accepted_.count(key)) continue;
-        std::string known;
-        for (const auto& accepted : accepted_) {
-            if (!known.empty()) known += ", ";
-            known += accepted;
-        }
-        fail("unknown parameter '" + key + "' (accepts: " + known + ")");
-    }
-}
 
 PowerTrace make_trace(const std::string& source,
                       const TraceSourceContext& context,
                       const TraceParams& params) {
     IMX_EXPECTS(context.duration_s > 0.0);
     IMX_EXPECTS(context.dt_s > 0.0);
-    TraceSourceFactory factory;
-    {
-        std::lock_guard<std::mutex> lock(registry_mutex());
-        const auto& sources = registry_locked();
-        const auto it = sources.find(source);
-        if (it == sources.end()) unknown_source(source, sources);
-        factory = it->second.factory;
-    }
+    const TraceSourceFactory factory =
+        registry().read(source, [](const TraceSource& entry) {
+            return entry.factory;
+        });
     return factory(context, params);
 }
 
@@ -306,53 +209,33 @@ void register_trace_source(const std::string& name,
                            std::string description,
                            std::vector<std::string> param_names,
                            bool uses_context_duration) {
-    IMX_EXPECTS(!name.empty());
     IMX_EXPECTS(factory != nullptr);
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    registry_locked()[name] = {std::move(factory), std::move(description),
-                               std::move(param_names),
-                               uses_context_duration};
+    registry().add(name, {std::move(factory), std::move(description),
+                          std::move(param_names), uses_context_duration});
 }
 
 bool has_trace_source(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    return registry_locked().count(name) > 0;
+    return registry().contains(name);
 }
 
-std::vector<std::string> trace_source_names() {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    std::vector<std::string> names;
-    for (const auto& [key, unused] : registry_locked()) {
-        (void)unused;
-        names.push_back(key);
-    }
-    return names;
-}
+std::vector<std::string> trace_source_names() { return registry().names(); }
 
 std::string trace_source_description(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    const auto& sources = registry_locked();
-    const auto it = sources.find(name);
-    if (it == sources.end()) unknown_source(name, sources);
-    return it->second.description;
+    return registry().read(
+        name, [](const TraceSource& entry) { return entry.description; });
 }
 
 std::vector<std::string> trace_source_param_names(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    const auto& sources = registry_locked();
-    const auto it = sources.find(name);
-    if (it == sources.end()) unknown_source(name, sources);
-    auto names = it->second.param_names;
+    auto names = registry().read(
+        name, [](const TraceSource& entry) { return entry.param_names; });
     std::sort(names.begin(), names.end());
     return names;
 }
 
 bool trace_source_uses_context_duration(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    const auto& sources = registry_locked();
-    const auto it = sources.find(name);
-    if (it == sources.end()) unknown_source(name, sources);
-    return it->second.uses_context_duration;
+    return registry().read(name, [](const TraceSource& entry) {
+        return entry.uses_context_duration;
+    });
 }
 
 }  // namespace imx::energy

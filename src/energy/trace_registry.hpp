@@ -33,11 +33,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "energy/power_trace.hpp"
+#include "util/param_reader.hpp"
 
 namespace imx::energy {
 
@@ -62,45 +63,19 @@ using TraceSourceFactory =
 
 /// \brief Typed, validating view over a TraceParams map.
 ///
-/// Each getter consumes one key (returning the fallback when absent) and
-/// records it as accepted; done() then rejects any key the factory never
-/// asked for, listing everything the source accepts. All errors are
-/// std::invalid_argument prefixed "trace source '<name>':".
+/// A thin subclass of util::ParamReader fixing the diagnostic prefix to
+/// "trace source '<name>': " — the getters (number/positive/non_negative/
+/// fraction/text/required_text), done()'s unknown-key rejection, and fail()
+/// are all inherited, byte-identical to the historical per-registry copy.
 ///
 ///     TraceParamReader reader("rf-bursty", params);
 ///     cfg.burst_power_mw = reader.positive("burst_power_mw", 0.5);
 ///     cfg.mean_on_s = reader.positive("mean_on_s", 3.0);
 ///     reader.done();
-class TraceParamReader {
+class TraceParamReader : public util::ParamReader {
 public:
-    TraceParamReader(std::string source, const TraceParams& params);
-
-    /// Any finite number.
-    double number(const std::string& key, double fallback);
-    /// A number > 0.
-    double positive(const std::string& key, double fallback);
-    /// A number >= 0.
-    double non_negative(const std::string& key, double fallback);
-    /// A number in [0, 1].
-    double fraction(const std::string& key, double fallback);
-    /// Free text (returned verbatim).
-    std::string text(const std::string& key, const std::string& fallback);
-    /// Free text that must be present and non-empty.
-    std::string required_text(const std::string& key);
-
-    /// Reject every key no getter consumed. Call after the last getter.
-    void done() const;
-
-    /// Throw a source-prefixed std::invalid_argument (for cross-parameter
-    /// checks like sunrise_hour < sunset_hour).
-    [[noreturn]] void fail(const std::string& message) const;
-
-private:
-    double parsed_number(const std::string& key, double fallback);
-
-    std::string source_;
-    const TraceParams& params_;
-    std::set<std::string> accepted_;
+    TraceParamReader(std::string source, const TraceParams& params)
+        : util::ParamReader("trace source", std::move(source), params) {}
 };
 
 /// \brief Build a harvesting trace from a registered source.

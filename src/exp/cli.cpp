@@ -134,12 +134,14 @@ SweepCli parse_sweep_cli(int argc, char** argv) {
             options.resume = true;
         } else if (std::strcmp(argv[i], "--merge") == 0) {
             options.merge.emplace_back(require_value(i));
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            options.profile = true;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr,
                          "error: unknown option '%s' (expected --quick, "
                          "--replicas N, --threads N, --csv PATH, "
                          "--base-seed N, --shard i/N, --journal PATH, "
-                         "--resume, --merge PATH)\n",
+                         "--resume, --merge PATH, --profile)\n",
                          argv[i]);
             std::exit(2);
         } else {

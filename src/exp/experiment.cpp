@@ -15,6 +15,7 @@
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "sim/policies/registry.hpp"
+#include "sim/profiler.hpp"
 #include "util/contracts.hpp"
 
 namespace imx::exp {
@@ -349,6 +350,25 @@ void write_csv_if_requested(const SweepCli& resolved,
     }
 }
 
+/// The --profile epilogue: merged per-phase table to stdout (after the
+/// report, so golden-pinned tables stay byte-identical without the flag)
+/// plus the BENCH_profile.json artifact CI's perf lane uploads next to
+/// BENCH_sweep.json. Format: docs/profiling.md.
+void emit_profile(const sim::Profiler& profiler) {
+    std::printf("\nsimulator hot-path profile (docs/profiling.md):\n%s",
+                profiler.table().c_str());
+    const char* path = "BENCH_profile.json";
+    std::FILE* file = std::fopen(path, "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    std::fputs(profiler.json().c_str(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("profile JSON written to %s\n", path);
+}
+
 }  // namespace
 
 int run_experiment(const Experiment& experiment, const SweepCli& options) {
@@ -364,6 +384,11 @@ int run_experiment(const Experiment& experiment, const SweepCli& options) {
     header.replicas = resolved.replicas;
 
     if (!resolved.merge.empty()) {
+        if (resolved.profile) {
+            std::fprintf(stderr,
+                         "warning: --profile ignored with --merge (no "
+                         "scenarios execute)\n");
+        }
         const auto outcomes =
             merge_journal_outcomes(header, specs, resolved.merge);
         write_csv_if_requested(resolved, specs, outcomes);
@@ -378,6 +403,8 @@ int run_experiment(const Experiment& experiment, const SweepCli& options) {
 
     RunnerConfig runner;
     runner.threads = resolved.threads;
+    sim::Profiler profiler;
+    if (resolved.profile) runner.profiler = &profiler;
     const ShardRunResult shard_run =
         run_shard(specs, header, runner, resolved.journal, resolved.resume);
     if (shard_run.reused > 0) {
@@ -394,8 +421,11 @@ int run_experiment(const Experiment& experiment, const SweepCli& options) {
     // non-resumed path is bit-for-bit the historical behaviour.
     const bool full_grid =
         resolved.shard.count == 1 && shard_run.reused == 0;
-    if (full_grid && experiment.report) return experiment.report(context);
-    return generic_report(context);
+    const int code = full_grid && experiment.report
+                         ? experiment.report(context)
+                         : generic_report(context);
+    if (resolved.profile) emit_profile(profiler);
+    return code;
 }
 
 int experiment_main(const std::string& name, int argc, char** argv) {

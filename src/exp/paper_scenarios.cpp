@@ -16,6 +16,7 @@
 #include "sim/policies/registry.hpp"
 #include "sim/recovery/registry.hpp"
 #include "sim/simulator.hpp"
+#include "sim/workspace.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -272,28 +273,41 @@ ScenarioOutcome run_system_scenario(const core::ExperimentSetup& setup,
                 // Training episodes draw the canonical uniform stream
                 // regardless of the evaluation workload (pinned: matches the
                 // historical Q-learning path bitwise; the bench goldens
-                // train-on-uniform / evaluate-on-cell by design).
+                // train-on-uniform / evaluate-on-cell by design). Episode
+                // buffers come from the workspace when one is attached, so a
+                // worker's steady-state training loop never heap-allocates.
+                sim::ScenarioWorkspace* const ws = ctx.workspace;
+                std::vector<sim::Event> train_events_local;
+                sim::SimResult train_result_local;
+                std::vector<sim::Event>& train_events =
+                    ws != nullptr ? ws->train_events : train_events_local;
+                sim::SimResult& train_result =
+                    ws != nullptr ? ws->train_result : train_result_local;
+                const auto uniform = sim::make_arrival_source("uniform");
                 for (int ep = 0; ep < system.train_episodes; ++ep) {
-                    const auto train_events = sim::generate_arrivals(
-                        "uniform",
+                    uniform->generate_into(
                         {static_cast<int>(setup.events.size()),
-                         setup.trace.duration(), train_seed(ctx, ep)});
-                    const auto r = simulator.run(train_events, model, *policy);
+                         setup.trace.duration(), train_seed(ctx, ep)},
+                        train_events);
+                    simulator.run_into(train_events, model, *policy,
+                                       train_result, ws);
                     if (learning_curve != nullptr) {
-                        learning_curve->push_back(100.0 *
-                                                  r.accuracy_all_events());
+                        learning_curve->push_back(
+                            100.0 * train_result.accuracy_all_events());
                     }
                 }
                 learner->set_eval_mode(true);
             }
-            return outcome_from(simulator.run(events, model, *policy));
+            return outcome_from(
+                simulator.run(events, model, *policy, ctx.workspace));
         }
         default: {
             IMX_EXPECTS(system.policy.empty());
             auto model = make_baseline(system.kind);
             sim::GreedyAffordablePolicy policy;
             sim::Simulator simulator(setup.trace, setup.checkpointed_sim);
-            return outcome_from(simulator.run(events, model, policy));
+            return outcome_from(
+                simulator.run(events, model, policy, ctx.workspace));
         }
     }
 }

@@ -5,8 +5,11 @@
 #include <iostream>
 #include <ostream>
 
+#include "energy/trace_registry.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/experiment.hpp"
+#include "sim/arrivals/registry.hpp"
+#include "sim/recovery/registry.hpp"
 #include "util/table.hpp"
 
 namespace imx::exp {
@@ -81,6 +84,35 @@ void print_scenario_grid(const std::vector<ScenarioSpec>& specs,
     }
     table.print(out);
     out << specs.size() << " scenario(s)\n";
+}
+
+void describe_all(std::FILE* out) {
+    std::fprintf(out, "registered experiments:\n");
+    for (const auto& name : experiment_names()) {
+        std::fprintf(out, "  %-28s %s\n", name.c_str(),
+                     experiment_description(name).c_str());
+    }
+    std::fprintf(out,
+                 "\nregistered trace sources (spec `[trace.<label>]` "
+                 "sections, docs/energy-sources.md):\n");
+    for (const auto& name : energy::trace_source_names()) {
+        std::fprintf(out, "  %-28s %s\n", name.c_str(),
+                     energy::trace_source_description(name).c_str());
+    }
+    std::fprintf(out,
+                 "\nregistered arrival sources (spec `[arrivals.<label>]` "
+                 "sections, docs/workloads.md):\n");
+    for (const auto& name : sim::arrival_source_names()) {
+        std::fprintf(out, "  %-28s %s\n", name.c_str(),
+                     sim::arrival_source_description(name).c_str());
+    }
+    std::fprintf(out,
+                 "\nregistered recovery strategies (spec `[recovery.<label>]` "
+                 "sections, docs/recovery.md):\n");
+    for (const auto& name : sim::recovery_strategy_names()) {
+        std::fprintf(out, "  %-28s %s\n", name.c_str(),
+                     sim::recovery_strategy_description(name).c_str());
+    }
 }
 
 }  // namespace imx::exp

@@ -9,6 +9,7 @@
 #ifndef IMX_EXP_REPORT_HPP
 #define IMX_EXP_REPORT_HPP
 
+#include <cstdio>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -54,6 +55,13 @@ int generic_report(const ExperimentRunContext& context);
 /// (id, seed, dims), plus a summary count — the driver's --dry-run output.
 void print_scenario_grid(const std::vector<ScenarioSpec>& specs,
                          std::ostream& out);
+
+/// \brief Print every registry a sweep can draw from — experiments, trace
+/// sources, arrival sources, recovery strategies — one "  name description"
+/// section each with its spec-section/doc heading. This IS the `imx_sweep
+/// --list` body (the driver adds only its trailing usage hint), kept in the
+/// library so shims and tools list the world identically.
+void describe_all(std::FILE* out);
 
 }  // namespace imx::exp
 

@@ -2,14 +2,75 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "exp/thread_pool.hpp"
+#include "sim/profiler.hpp"
+#include "sim/workspace.hpp"
 
 namespace imx::exp {
+
+namespace {
+
+/// Checkout pool of per-worker scenario workspaces (each with its private
+/// profiler). The thread pool exposes no worker identity, so workspaces are
+/// leased per task from a mutex-guarded freelist instead of indexed by
+/// worker: a task checks one out, runs its scenario with exclusive access
+/// (confinement), and returns it. Steady state holds exactly one workspace
+/// per concurrently running task — i.e. per worker thread — each already
+/// warmed to the largest scenario it has seen.
+class WorkspacePool {
+public:
+    explicit WorkspacePool(bool with_profiler)
+        : with_profiler_(with_profiler) {}
+
+    struct Lease {
+        sim::ScenarioWorkspace workspace;
+        sim::Profiler profiler;
+    };
+
+    Lease* acquire() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!free_.empty()) {
+                Lease* lease = free_.back();
+                free_.pop_back();
+                return lease;
+            }
+        }
+        auto lease = std::make_unique<Lease>();
+        if (with_profiler_) lease->workspace.profiler = &lease->profiler;
+        Lease* raw = lease.get();
+        std::lock_guard<std::mutex> lock(mutex_);
+        all_.push_back(std::move(lease));
+        return raw;
+    }
+
+    void release(Lease* lease) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        free_.push_back(lease);
+    }
+
+    /// Fold every workspace's profiler into `target` (post-sweep, after
+    /// wait_idle — no leases are outstanding).
+    void merge_profiles(sim::Profiler& target) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& lease : all_) target.merge(lease->profiler);
+    }
+
+private:
+    bool with_profiler_;
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<Lease>> all_;
+    std::vector<Lease*> free_;
+};
+
+}  // namespace
 
 void run_sweep(const std::vector<ScenarioSpec>& specs, ResultSink& sink,
                const RunnerConfig& config) {
@@ -22,6 +83,8 @@ void run_sweep(const std::vector<ScenarioSpec>& specs, ResultSink& sink,
                               ? static_cast<std::size_t>(config.threads)
                               : std::max(1u, std::thread::hardware_concurrency());
     threads = std::min(threads, specs.size());
+
+    WorkspacePool workspaces(config.profiler != nullptr);
 
     // Completed-but-undelivered outcomes wait in their slots; the cursor
     // walks them in index order so the sink sees a deterministic stream.
@@ -36,17 +99,23 @@ void run_sweep(const std::vector<ScenarioSpec>& specs, ResultSink& sink,
     ThreadPool pool(threads);
     for (std::size_t i = 0; i < specs.size(); ++i) {
         pool.submit([&specs, &sink, &slots, &errors, &delivery_mutex, &cursor,
-                     &blocked, i] {
+                     &blocked, &workspaces, i] {
             std::optional<ScenarioOutcome> outcome;
             std::exception_ptr error;
+            WorkspacePool::Lease* lease = workspaces.acquire();
             try {
                 ScenarioContext ctx;
                 ctx.seed = specs[i].seed;
                 ctx.replica = specs[i].replica;
+                ctx.workspace = &lease->workspace;
                 outcome = specs[i].run(ctx);
+                if (lease->workspace.profiler != nullptr) {
+                    lease->workspace.profiler->count_scenario();
+                }
             } catch (...) {
                 error = std::current_exception();
             }
+            workspaces.release(lease);
 
             std::lock_guard<std::mutex> lock(delivery_mutex);
             slots[i] = std::move(outcome);
@@ -72,6 +141,10 @@ void run_sweep(const std::vector<ScenarioSpec>& specs, ResultSink& sink,
         });
     }
     pool.wait_idle();
+
+    if (config.profiler != nullptr) {
+        workspaces.merge_profiles(*config.profiler);
+    }
 
     for (const auto& error : errors) {
         if (error) std::rethrow_exception(error);

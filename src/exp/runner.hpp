@@ -17,11 +17,20 @@
 #include "exp/scenario.hpp"
 #include "exp/sink.hpp"
 
+namespace imx::sim {
+class Profiler;
+}  // namespace imx::sim
+
 namespace imx::exp {
 
 struct RunnerConfig {
     /// Worker threads; 0 means std::thread::hardware_concurrency().
     int threads = 0;
+    /// When non-null, every worker profiles its scenarios into a private
+    /// sim::Profiler (through its ScenarioWorkspace) and the runner merges
+    /// them all into this one after the sweep. Null (the default) keeps
+    /// profiling off — each simulator hook is a single pointer test.
+    sim::Profiler* profiler = nullptr;
 };
 
 /// \brief Run every scenario in parallel, streaming outcomes to `sink`.

@@ -18,6 +18,10 @@
 
 #include "sim/metrics.hpp"
 
+namespace imx::sim {
+struct ScenarioWorkspace;
+}  // namespace imx::sim
+
 namespace imx::exp {
 
 /// Named scalar metrics. An ordered map so that every iteration (tables,
@@ -37,6 +41,11 @@ struct ScenarioOutcome {
 struct ScenarioContext {
     std::uint64_t seed = 0;  ///< per-scenario RNG stream seed
     int replica = 0;         ///< seed-replica index within the group
+    /// Per-worker reusable buffers (and optional profiler), lent by the
+    /// runner for the duration of this scenario — confinement, no locking.
+    /// Null (e.g. a scenario run standalone in a test) restores the
+    /// historical allocate-per-run behaviour, bit for bit.
+    sim::ScenarioWorkspace* workspace = nullptr;
 };
 
 using ScenarioFn = std::function<ScenarioOutcome(const ScenarioContext&)>;

@@ -1,99 +1,68 @@
+// Thin wrapper over util::Registry<PolicyFactory>: the public free
+// functions, their error messages, and the registered-name listing are
+// byte-identical to the historical hand-rolled registry.
 #include "sim/policies/registry.hpp"
 
-#include <map>
-#include <mutex>
-#include <stdexcept>
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/registry.hpp"
 
 namespace imx::sim {
 
 namespace {
 
-std::mutex& registry_mutex() {
-    static std::mutex mutex;
-    return mutex;
-}
-
-/// The registry map. An ordered map so policy_names() is sorted without a
-/// separate pass. Built-ins are seeded on first use — no static-init-order
-/// or dead-translation-unit hazards.
-std::map<std::string, PolicyFactory>& registry_locked() {
-    static std::map<std::string, PolicyFactory> factories = [] {
-        std::map<std::string, PolicyFactory> builtins;
-        builtins["greedy"] = [](const PolicyContext& ctx) {
+/// The registry instance, seeded with built-ins on first use — no
+/// static-init-order or dead-translation-unit hazards.
+util::Registry<PolicyFactory>& registry() {
+    static util::Registry<PolicyFactory> instance("exit policy");
+    static const bool seeded = [] {
+        instance.add("greedy", [](const PolicyContext& ctx) {
             return std::make_unique<GreedyAffordablePolicy>(
                 ctx.safety_margin_mj);
-        };
-        builtins["slack-greedy"] = [](const PolicyContext& ctx) {
+        });
+        instance.add("slack-greedy", [](const PolicyContext& ctx) {
             return std::make_unique<SlackGreedyPolicy>(ctx.safety_margin_mj,
                                                        ctx.slack_schedule);
-        };
-        builtins["queue-slack-greedy"] = [](const PolicyContext& ctx) {
+        });
+        instance.add("queue-slack-greedy", [](const PolicyContext& ctx) {
             return std::make_unique<QueueSlackGreedyPolicy>(
                 ctx.safety_margin_mj, ctx.slack_schedule);
-        };
-        builtins["qlearning"] = [](const PolicyContext& ctx) {
+        });
+        instance.add("qlearning", [](const PolicyContext& ctx) {
             return std::make_unique<QLearningExitPolicy>(ctx.num_exits,
                                                          ctx.runtime);
-        };
-        builtins["slack-qlearning"] = [](const PolicyContext& ctx) {
+        });
+        instance.add("slack-qlearning", [](const PolicyContext& ctx) {
             return std::make_unique<QLearningExitPolicy>(
                 ctx.num_exits, slack_aware_runtime_config(ctx.runtime),
                 ctx.slack_schedule);
-        };
-        return builtins;
+        });
+        return true;
     }();
-    return factories;
+    (void)seeded;
+    return instance;
 }
 
 }  // namespace
 
 std::unique_ptr<ExitPolicy> make_policy(const std::string& name,
                                         const PolicyContext& context) {
-    PolicyFactory factory;
-    {
-        std::lock_guard<std::mutex> lock(registry_mutex());
-        const auto& factories = registry_locked();
-        const auto it = factories.find(name);
-        if (it == factories.end()) {
-            std::string known;
-            for (const auto& [key, unused] : factories) {
-                (void)unused;
-                if (!known.empty()) known += ", ";
-                known += key;
-            }
-            throw std::invalid_argument("unknown exit policy '" + name +
-                                        "' (registered: " + known + ")");
-        }
-        factory = it->second;
-    }
+    const PolicyFactory factory = registry().get(name);
     auto policy = factory(context);
     IMX_EXPECTS(policy != nullptr);
     return policy;
 }
 
 void register_policy(const std::string& name, PolicyFactory factory) {
-    IMX_EXPECTS(!name.empty());
     IMX_EXPECTS(factory != nullptr);
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    registry_locked()[name] = std::move(factory);
+    registry().add(name, std::move(factory));
 }
 
 bool has_policy(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    return registry_locked().count(name) > 0;
+    return registry().contains(name);
 }
 
-std::vector<std::string> policy_names() {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    std::vector<std::string> names;
-    for (const auto& [key, unused] : registry_locked()) {
-        (void)unused;
-        names.push_back(key);
-    }
-    return names;
-}
+std::vector<std::string> policy_names() { return registry().names(); }
 
 }  // namespace imx::sim

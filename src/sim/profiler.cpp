@@ -1,0 +1,85 @@
+#include "sim/profiler.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace imx::sim {
+
+namespace {
+
+constexpr const char* kPhaseNames[Profiler::kNumPhases] = {
+    "harvest", "queue", "policy", "inference", "commit",
+};
+
+}  // namespace
+
+void Profiler::merge(const Profiler& other) noexcept {
+    for (int p = 0; p < kNumPhases; ++p) {
+        stats_[static_cast<std::size_t>(p)].calls +=
+            other.stats_[static_cast<std::size_t>(p)].calls;
+        stats_[static_cast<std::size_t>(p)].ns +=
+            other.stats_[static_cast<std::size_t>(p)].ns;
+    }
+    runs_ += other.runs_;
+    scenarios_ += other.scenarios_;
+}
+
+std::uint64_t Profiler::total_ns() const {
+    std::uint64_t total = 0;
+    for (const PhaseStats& s : stats_) total += s.ns;
+    return total;
+}
+
+const char* Profiler::phase_name(Phase phase) {
+    return kPhaseNames[static_cast<std::size_t>(phase)];
+}
+
+std::string Profiler::table() const {
+    const double total = static_cast<double>(total_ns());
+    char line[160];
+    std::string out;
+    out += "phase        calls            time_ms    share\n";
+    for (int p = 0; p < kNumPhases; ++p) {
+        const PhaseStats& s = stats_[static_cast<std::size_t>(p)];
+        const double share =
+            total > 0.0 ? static_cast<double>(s.ns) / total : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "%-10s %12" PRIu64 " %14.3f %7.1f%%\n",
+                      kPhaseNames[static_cast<std::size_t>(p)], s.calls,
+                      static_cast<double>(s.ns) / 1e6, share * 100.0);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "total phase time %.3f ms over %" PRIu64
+                  " scenario(s), %" PRIu64 " simulator run(s)\n",
+                  total / 1e6, scenarios_, runs_);
+    out += line;
+    return out;
+}
+
+std::string Profiler::json() const {
+    const double total = static_cast<double>(total_ns());
+    char buf[160];
+    std::string out = "{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"runs\": %" PRIu64 ", \"scenarios\": %" PRIu64
+                  ", \"total_ns\": %" PRIu64 ", \"phases\": {",
+                  runs_, scenarios_, total_ns());
+    out += buf;
+    for (int p = 0; p < kNumPhases; ++p) {
+        const PhaseStats& s = stats_[static_cast<std::size_t>(p)];
+        const double share =
+            total > 0.0 ? static_cast<double>(s.ns) / total : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"%s\": {\"calls\": %" PRIu64 ", \"ns\": %" PRIu64
+                      ", \"share\": %.6f}",
+                      p == 0 ? "" : ", ",
+                      kPhaseNames[static_cast<std::size_t>(p)], s.calls, s.ns,
+                      share);
+        out += buf;
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace imx::sim

@@ -1,11 +1,13 @@
+// Thin wrapper over util::Registry<RegistryEntry>: the public free
+// functions, their error messages, and the registered-name listing are
+// byte-identical to the historical hand-rolled registry.
 #include "sim/recovery/registry.hpp"
 
-#include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/registry.hpp"
 
 namespace imx::sim {
 
@@ -51,50 +53,35 @@ struct RegistryEntry {
     std::string description;
 };
 
-std::mutex& registry_mutex() {
-    static std::mutex mutex;
-    return mutex;
-}
-
-/// The registry map. An ordered map so recovery_strategy_names() is sorted
-/// without a separate pass. Built-ins are seeded on first use — no
+/// The registry instance, seeded with built-ins on first use — no
 /// static-init-order or dead-translation-unit hazards.
-std::map<std::string, RegistryEntry>& registry_locked() {
-    static std::map<std::string, RegistryEntry> entries = [] {
-        std::map<std::string, RegistryEntry> builtins;
-        builtins["restart"] = {
-            [](const RecoveryConfig&) {
-                return std::make_unique<RestartStrategy>();
-            },
-            "lose all in-flight progress on a power failure (free)"};
-        builtins["checkpoint"] = {
-            [](const RecoveryConfig& config) {
-                return std::make_unique<CheckpointStrategy>(config);
-            },
-            "NVM checkpoint per unit: checkpoint_mj per commit, restore_mj "
-            "at reboot"};
-        builtins["checkpoint-free"] = {
-            [](const RecoveryConfig& config) {
-                return std::make_unique<CheckpointFreeStrategy>(config);
-            },
-            "progress preserved at zero write cost; restore_penalty_mj per "
-            "surviving unit at reboot"};
-        return builtins;
+util::Registry<RegistryEntry>& registry() {
+    static util::Registry<RegistryEntry> instance("recovery strategy");
+    static const bool seeded = [] {
+        instance.add(
+            "restart",
+            {[](const RecoveryConfig&) {
+                 return std::make_unique<RestartStrategy>();
+             },
+             "lose all in-flight progress on a power failure (free)"});
+        instance.add(
+            "checkpoint",
+            {[](const RecoveryConfig& config) {
+                 return std::make_unique<CheckpointStrategy>(config);
+             },
+             "NVM checkpoint per unit: checkpoint_mj per commit, restore_mj "
+             "at reboot"});
+        instance.add(
+            "checkpoint-free",
+            {[](const RecoveryConfig& config) {
+                 return std::make_unique<CheckpointFreeStrategy>(config);
+             },
+             "progress preserved at zero write cost; restore_penalty_mj per "
+             "surviving unit at reboot"});
+        return true;
     }();
-    return entries;
-}
-
-[[noreturn]] void unknown_strategy(
-    const std::string& name,
-    const std::map<std::string, RegistryEntry>& entries) {
-    std::string known;
-    for (const auto& [key, unused] : entries) {
-        (void)unused;
-        if (!known.empty()) known += ", ";
-        known += key;
-    }
-    throw std::invalid_argument("unknown recovery strategy '" + name +
-                                "' (registered: " + known + ")");
+    (void)seeded;
+    return instance;
 }
 
 }  // namespace
@@ -108,14 +95,10 @@ std::unique_ptr<RecoveryStrategy> make_recovery_strategy(
         throw std::invalid_argument(
             "recovery cost parameters must be non-negative");
     }
-    RecoveryFactory factory;
-    {
-        std::lock_guard<std::mutex> lock(registry_mutex());
-        const auto& entries = registry_locked();
-        const auto it = entries.find(name);
-        if (it == entries.end()) unknown_strategy(name, entries);
-        factory = it->second.factory;
-    }
+    const RecoveryFactory factory =
+        registry().read(name, [](const RegistryEntry& entry) {
+            return entry.factory;
+        });
     auto strategy = factory(config);
     IMX_EXPECTS(strategy != nullptr);
     return strategy;
@@ -124,33 +107,21 @@ std::unique_ptr<RecoveryStrategy> make_recovery_strategy(
 void register_recovery_strategy(const std::string& name,
                                 RecoveryFactory factory,
                                 const std::string& description) {
-    IMX_EXPECTS(!name.empty());
     IMX_EXPECTS(factory != nullptr);
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    registry_locked()[name] = {std::move(factory), description};
+    registry().add(name, {std::move(factory), description});
 }
 
 bool has_recovery_strategy(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    return registry_locked().count(name) > 0;
+    return registry().contains(name);
 }
 
 std::vector<std::string> recovery_strategy_names() {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    std::vector<std::string> names;
-    for (const auto& [key, unused] : registry_locked()) {
-        (void)unused;
-        names.push_back(key);
-    }
-    return names;
+    return registry().names();
 }
 
 std::string recovery_strategy_description(const std::string& name) {
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    const auto& entries = registry_locked();
-    const auto it = entries.find(name);
-    if (it == entries.end()) unknown_strategy(name, entries);
-    return it->second.description;
+    return registry().read(
+        name, [](const RegistryEntry& entry) { return entry.description; });
 }
 
 }  // namespace imx::sim

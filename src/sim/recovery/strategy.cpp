@@ -21,11 +21,19 @@ std::string granularity_name(CheckpointGranularity granularity) {
 std::vector<std::int64_t> recovery_units(const InferenceModel& model,
                                          int from_exit, int to_exit,
                                          CheckpointGranularity granularity) {
+    std::vector<std::int64_t> units;
+    recovery_units_into(model, from_exit, to_exit, granularity, units);
+    return units;
+}
+
+void recovery_units_into(const InferenceModel& model, int from_exit,
+                         int to_exit, CheckpointGranularity granularity,
+                         std::vector<std::int64_t>& units) {
     IMX_EXPECTS(from_exit >= -1);
     IMX_EXPECTS(to_exit > from_exit && to_exit < model.num_exits());
     const std::int64_t total = model.incremental_macs(from_exit, to_exit);
 
-    std::vector<std::int64_t> units;
+    units.clear();
     if (granularity == CheckpointGranularity::kPerLayer) {
         std::int64_t sum = 0;
         for (const std::int64_t macs : model.segment_macs(from_exit, to_exit)) {
@@ -58,7 +66,6 @@ std::vector<std::int64_t> recovery_units(const InferenceModel& model,
     // A degenerate plan (total == 0) still needs one unit so the execution
     // machinery has a step to complete and evaluate on.
     if (units.empty()) units.push_back(total);
-    return units;
 }
 
 }  // namespace imx::sim

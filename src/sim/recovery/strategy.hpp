@@ -100,6 +100,14 @@ std::vector<std::int64_t> recovery_units(const InferenceModel& model,
                                          int from_exit, int to_exit,
                                          CheckpointGranularity granularity);
 
+/// \brief recovery_units() into a caller-owned buffer (replaced, capacity
+/// reused) — the allocation-free path the simulator takes through
+/// sim::ScenarioWorkspace. Produces exactly the values recovery_units()
+/// would.
+void recovery_units_into(const InferenceModel& model, int from_exit,
+                         int to_exit, CheckpointGranularity granularity,
+                         std::vector<std::int64_t>& units);
+
 }  // namespace imx::sim
 
 #endif  // IMX_SIM_RECOVERY_STRATEGY_HPP

@@ -34,6 +34,8 @@
 #include "sim/metrics.hpp"
 #include "sim/policy.hpp"
 #include "sim/recovery/strategy.hpp"
+#include "sim/workspace.hpp"
+#include "util/span.hpp"
 
 namespace imx::sim {
 
@@ -81,14 +83,35 @@ public:
     /// Run the event schedule through the model under the policy.
     /// The policy may be learning (its observe() hooks fire); run() does not
     /// reset policy state, so successive runs implement learning episodes.
-    SimResult run(const std::vector<Event>& events, InferenceModel& model,
-                  ExitPolicy& policy);
+    ///
+    /// `events` is a span view (std::vector<Event> converts implicitly, so
+    /// historical call sites compile unchanged) — arena-backed buffers and
+    /// sub-ranges flow through without copies. `workspace`, when non-null,
+    /// provides reusable per-worker buffers (queue ring, recovery unit
+    /// plan) and the optional profiler; null reproduces the historical
+    /// allocate-per-run behaviour bit for bit.
+    SimResult run(util::Span<const Event> events, InferenceModel& model,
+                  ExitPolicy& policy, ScenarioWorkspace* workspace = nullptr);
+
+    /// run() into a caller-owned result (record capacity reused) — the
+    /// allocation-free path for training episodes whose SimResult is
+    /// consumed immediately. Produces exactly the values run() would.
+    void run_into(util::Span<const Event> events, InferenceModel& model,
+                  ExitPolicy& policy, SimResult& out,
+                  ScenarioWorkspace* workspace = nullptr);
 
     [[nodiscard]] const SimConfig& config() const { return config_; }
 
 private:
     const energy::PowerTrace* trace_;
     SimConfig config_;
+    /// Cached at construction (the trace is immutable while a Simulator
+    /// views it): total_energy() is an O(samples) scan, and the sweep hot
+    /// path calls run() hundreds of times per Simulator for training
+    /// episodes. Same summation as the per-run call, so the recorded
+    /// SimResult values are bitwise unchanged.
+    double trace_duration_s_ = 0.0;
+    double trace_total_energy_mj_ = 0.0;
 };
 
 }  // namespace imx::sim

@@ -1,0 +1,60 @@
+/// \file
+/// \brief Per-worker reusable scenario state: the allocation backbone of
+/// the sweep hot path.
+///
+/// A sweep worker executes thousands of scenarios back to back; before this
+/// existed, every scenario (and every Q-learning training episode inside
+/// it) re-heap-allocated the same short-lived buffers — the training event
+/// schedule, the SimResult record vector, the recovery unit plan, the
+/// bounded-queue ring. A ScenarioWorkspace owns one reusable copy of each,
+/// sized by the largest scenario seen so far, so a worker's steady state
+/// performs no heap allocation at all.
+///
+/// Ownership and threading: exp::run_sweep keeps a pool of workspaces and
+/// hands each scenario exactly one for the duration of its execution
+/// (confinement — no locking inside). Passing a null workspace anywhere
+/// restores the historical allocate-per-run behaviour, bit for bit: the
+/// workspace only changes *where* buffers live, never the values written
+/// through them (tests/test_hotpath.cpp pins SimResult and CSV equality
+/// workspace-on vs workspace-off across every registered experiment).
+#ifndef IMX_SIM_WORKSPACE_HPP
+#define IMX_SIM_WORKSPACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_gen.hpp"
+#include "sim/metrics.hpp"
+#include "sim/profiler.hpp"
+#include "util/arena.hpp"
+
+namespace imx::sim {
+
+struct ScenarioWorkspace {
+    /// Bump-allocated POD scratch for buffers whose size is only known at
+    /// run start (the simulator's bounded-queue ring lives here). Reset at
+    /// the end of every Simulator::run; capacity is retained across
+    /// scenarios.
+    util::Arena arena;
+
+    /// Reused training-episode event schedule
+    /// (ArrivalSource::generate_into writes over it each episode).
+    std::vector<Event> train_events;
+
+    /// Reused result buffer for training runs whose SimResult is consumed
+    /// immediately (Simulator::run_into reuses records capacity).
+    SimResult train_result;
+
+    /// Reused recovery unit plan (recovery_units_into writes over it each
+    /// time a scenario's job commits or hops).
+    std::vector<std::int64_t> units;
+
+    /// Per-worker profiler; null (the default) means profiling is off and
+    /// every hook reduces to a pointer test.
+    Profiler* profiler = nullptr;
+};
+
+}  // namespace imx::sim
+
+#endif  // IMX_SIM_WORKSPACE_HPP

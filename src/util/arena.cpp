@@ -1,0 +1,62 @@
+#include "util/arena.hpp"
+
+#include <cstdint>
+#include <type_traits>
+
+namespace imx::util {
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+    IMX_EXPECTS(chunk_bytes > 0);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+    IMX_EXPECTS(align > 0 && (align & (align - 1)) == 0);
+    // Bump the cursor to the next `align` boundary.
+    auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+    std::uintptr_t aligned = (addr + (align - 1)) & ~(align - 1);
+    if (cursor_ == nullptr ||
+        aligned + bytes > reinterpret_cast<std::uintptr_t>(block_end_)) {
+        // Oversized requests get their own exact-size block so a single
+        // large buffer doesn't force the chunk size up for everyone.
+        ensure_block(bytes + align);
+        addr = reinterpret_cast<std::uintptr_t>(cursor_);
+        aligned = (addr + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    bytes_used_ += bytes;
+    IMX_ENSURES(cursor_ <= block_end_);
+    return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::ensure_block(std::size_t bytes) {
+    const std::size_t want = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    // Reuse a retained block if the next one is big enough; otherwise
+    // insert a fresh block at the open position.
+    if (next_block_ >= blocks_.size() || blocks_[next_block_].size < want) {
+        Block block;
+        block.data = std::make_unique<std::byte[]>(want);
+        block.size = want;
+        blocks_.insert(blocks_.begin() +
+                           static_cast<std::ptrdiff_t>(next_block_),
+                       std::move(block));
+    }
+    Block& open = blocks_[next_block_];
+    cursor_ = open.data.get();
+    block_end_ = cursor_ + open.size;
+    ++next_block_;
+}
+
+void Arena::reset() {
+    next_block_ = 0;
+    cursor_ = nullptr;
+    block_end_ = nullptr;
+    bytes_used_ = 0;
+}
+
+std::size_t Arena::bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+}
+
+}  // namespace imx::util

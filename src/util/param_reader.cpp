@@ -1,0 +1,89 @@
+#include "util/param_reader.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace imx::util {
+
+ParamReader::ParamReader(std::string kind, std::string source,
+                         const Params& params)
+    : kind_(std::move(kind)), source_(std::move(source)), params_(params) {}
+
+void ParamReader::fail(const std::string& message) const {
+    throw std::invalid_argument(kind_ + " '" + source_ + "': " + message);
+}
+
+double ParamReader::parsed_number(const std::string& key, double fallback) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+        fail("parameter '" + key + "' expects a number, got '" + it->second +
+             "'");
+    }
+    return value;
+}
+
+double ParamReader::number(const std::string& key, double fallback) {
+    return parsed_number(key, fallback);
+}
+
+double ParamReader::positive(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value > 0.0)) {
+        fail("parameter '" + key + "' must be > 0");
+    }
+    return value;
+}
+
+double ParamReader::non_negative(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value >= 0.0)) {
+        fail("parameter '" + key + "' must be >= 0");
+    }
+    return value;
+}
+
+double ParamReader::fraction(const std::string& key, double fallback) {
+    const double value = parsed_number(key, fallback);
+    if (!(value >= 0.0 && value <= 1.0)) {
+        fail("parameter '" + key + "' must be in [0, 1]");
+    }
+    return value;
+}
+
+std::string ParamReader::text(const std::string& key,
+                              const std::string& fallback) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    return it == params_.end() ? fallback : it->second;
+}
+
+std::string ParamReader::required_text(const std::string& key) {
+    accepted_.insert(key);
+    const auto it = params_.find(key);
+    if (it == params_.end() || it->second.empty()) {
+        fail("requires parameter '" + key + "'");
+    }
+    return it->second;
+}
+
+void ParamReader::done() const {
+    for (const auto& [key, value] : params_) {
+        (void)value;
+        if (accepted_.count(key)) continue;
+        std::string known;
+        for (const auto& accepted : accepted_) {
+            if (!known.empty()) known += ", ";
+            known += accepted;
+        }
+        fail("unknown parameter '" + key + "' (accepts: " + known + ")");
+    }
+}
+
+}  // namespace imx::util

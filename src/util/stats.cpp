@@ -132,14 +132,4 @@ Ema::Ema(double alpha) : alpha_(alpha) {
     IMX_EXPECTS(alpha > 0.0 && alpha <= 1.0);
 }
 
-double Ema::update(double x) {
-    if (!initialized_) {
-        value_ = x;
-        initialized_ = true;
-    } else {
-        value_ = alpha_ * x + (1.0 - alpha_) * value_;
-    }
-    return value_;
-}
-
 }  // namespace imx::util

@@ -73,11 +73,20 @@ double stddev(const std::vector<double>& sample);
 /// Pearson correlation of two equal-length samples.
 double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
 
-/// Exponential moving average helper.
+/// Exponential moving average helper. update() is inline: the simulator
+/// calls it once per step and the cross-TU call dominated the two flops.
 class Ema {
 public:
     explicit Ema(double alpha);
-    double update(double x);
+    double update(double x) {
+        if (!initialized_) {
+            value_ = x;
+            initialized_ = true;
+        } else {
+            value_ = alpha_ * x + (1.0 - alpha_) * value_;
+        }
+        return value_;
+    }
     [[nodiscard]] double value() const { return value_; }
     [[nodiscard]] bool initialized() const { return initialized_; }
 

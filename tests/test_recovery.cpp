@@ -175,7 +175,7 @@ sim::SimResult run_exact(const sim::SimConfig& cfg) {
     sim::Simulator simulator(trace, cfg);
     LadderModel model;
     PinnedExitPolicy policy(1);
-    return simulator.run({{0, 1.0}}, model, policy);
+    return simulator.run(std::vector<sim::Event>{{0, 1.0}}, model, policy);
 }
 
 void expect_records_bitwise_equal(const sim::SimResult& a,
@@ -474,7 +474,7 @@ TEST(RecoverySim, CommitAndRestoreCostsAreAccountedExactly) {
     sim::Simulator simulator(trace, cfg);
     LadderModel model;
     PinnedExitPolicy policy(1);
-    const auto result = simulator.run({{0, 1.0}}, model, policy);
+    const auto result = simulator.run(std::vector<sim::Event>{{0, 1.0}}, model, policy);
     ASSERT_TRUE(result.records[0].processed);
     EXPECT_EQ(result.deaths, 0);
     EXPECT_EQ(result.recovery_energy_mj, 3 * 0.25);
@@ -506,7 +506,7 @@ TEST(RecoverySim, ActivePowerDrawDrivesDeathWhileStalled) {
     sim::Simulator simulator(trace, cfg);
     LadderModel model;
     PinnedExitPolicy policy(1);
-    const auto result = simulator.run({{0, 1.0}}, model, policy);
+    const auto result = simulator.run(std::vector<sim::Event>{{0, 1.0}}, model, policy);
     EXPECT_GE(result.deaths, 1);
     EXPECT_GT(result.wasted_macs, 0);
 
@@ -518,7 +518,7 @@ TEST(RecoverySim, ActivePowerDrawDrivesDeathWhileStalled) {
     sim::Simulator quiet_sim(trace, quiet);
     LadderModel quiet_model;
     PinnedExitPolicy quiet_policy(1);
-    const auto alive = quiet_sim.run({{0, 1.0}}, quiet_model, quiet_policy);
+    const auto alive = quiet_sim.run(std::vector<sim::Event>{{0, 1.0}}, quiet_model, quiet_policy);
     EXPECT_EQ(alive.deaths, 0);
     ASSERT_TRUE(alive.records[0].processed);
 }
@@ -533,7 +533,7 @@ TEST(RecoverySim, NoDeathBeforeTheFirstUnitStarts) {
     sim::Simulator simulator(trace, cfg);
     LadderModel model;
     NeverCommitPolicy policy;
-    const auto result = simulator.run({{0, 1.0}}, model, policy);
+    const auto result = simulator.run(std::vector<sim::Event>{{0, 1.0}}, model, policy);
     EXPECT_EQ(result.deaths, 0);
     EXPECT_FALSE(result.records[0].processed);
 }
